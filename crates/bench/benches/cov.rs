@@ -1,0 +1,47 @@
+//! Eq. 27 — CoV evaluation, the primitive §5.4 credits for CoV-Grouping's
+//! speed over KLD ("calculating CoV only involves addition and
+//! multiplication, which are much cheaper than log()").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfl_bench::skewed_labels;
+use gfl_core::cov::{cov_with_candidate, group_cov, histogram_cov};
+use gfl_tensor::stats;
+use std::hint::black_box;
+
+fn bench_cov(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cov_primitives");
+    for &labels_n in &[10usize, 35] {
+        let matrix = skewed_labels(64, labels_n, labels_n as u64);
+        let members: Vec<usize> = (0..32).collect();
+        let hist = matrix.group_histogram(&members);
+
+        group.bench_with_input(
+            BenchmarkId::new("group_cov", labels_n),
+            &labels_n,
+            |b, _| b.iter(|| black_box(group_cov(&matrix, &members))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_candidate", labels_n),
+            &labels_n,
+            |b, _| b.iter(|| black_box(cov_with_candidate(&matrix, &hist, 40))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("histogram_cov", labels_n),
+            &labels_n,
+            |b, _| b.iter(|| black_box(histogram_cov(&hist))),
+        );
+        // The KLD alternative's primitive, for the §5.4 comparison.
+        let p: Vec<f32> = hist.iter().map(|&h| h as f32 + 1.0).collect();
+        let p = stats::normalize(&p);
+        let q = vec![1.0 / labels_n as f32; labels_n];
+        group.bench_with_input(
+            BenchmarkId::new("kl_divergence", labels_n),
+            &labels_n,
+            |b, _| b.iter(|| black_box(stats::kl_divergence(&p, &q, 1e-9))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cov);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fig. 2(a)/Fig. 8 — backdoor-detection cost scaling with group size
+//! (pairwise cosine matrix + clustering + clipping).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfl_bench::random_vectors;
+use gfl_defense::{filter_updates, DefenseConfig};
+use std::hint::black_box;
+
+fn bench_defense(c: &mut Criterion) {
+    let dim = 1024;
+    let mut group = c.benchmark_group("fig8_defense_scaling");
+    group.sample_size(10);
+    for &g in &[5usize, 10, 20, 40] {
+        let updates = random_vectors(g, dim, g as u64 + 100);
+        group.bench_with_input(BenchmarkId::new("filter_updates", g), &g, |b, _| {
+            b.iter_batched(
+                || updates.clone(),
+                |mut u| black_box(filter_updates(&mut u, &DefenseConfig::default())),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defense);
+criterion_main!(benches);

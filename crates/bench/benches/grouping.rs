@@ -1,0 +1,50 @@
+//! Fig. 5 — grouping-algorithm runtime vs client count.
+//!
+//! The paper's ordering: RG ≈ free, CDG cheap, CoVG moderate, KLDG slowest
+//! (full KL recomputation with `ln()` per candidate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfl_bench::skewed_labels;
+use gfl_core::grouping::{
+    CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
+};
+use gfl_tensor::init;
+use std::hint::black_box;
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_grouping_runtime");
+    group.sample_size(10);
+    for &n in &[100usize, 200, 400] {
+        let labels = skewed_labels(n, 10, n as u64);
+        let algos: Vec<(&str, Box<dyn GroupingAlgorithm>)> = vec![
+            ("RG", Box::new(RandomGrouping { group_size: 6 })),
+            (
+                "CDG",
+                Box::new(CdgGrouping {
+                    group_size: 6,
+                    kmeans_iters: 10,
+                }),
+            ),
+            ("KLDG", Box::new(KldGrouping { group_size: 6 })),
+            (
+                "CoVG",
+                Box::new(CovGrouping {
+                    min_group_size: 5,
+                    max_cov: 0.3,
+                }),
+            ),
+        ];
+        for (name, algo) in algos {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| {
+                    let mut rng = init::rng(1);
+                    black_box(algo.form_groups(&labels, &mut rng))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

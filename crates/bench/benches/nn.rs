@@ -1,0 +1,72 @@
+//! Line 13 — the local-update kernel: one forward/backward pass per
+//! minibatch for both task models, plus evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gfl_data::SyntheticSpec;
+use gfl_tensor::init;
+use std::hint::black_box;
+
+fn bench_nn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_update_kernel");
+    // The paper-faithful 5-layer CNN kernel (cnn_speech extension).
+    {
+        let net = gfl_nn::zoo::speech_cnn();
+        let data = SyntheticSpec::speech_like().generate(64, 3);
+        let params = net.init_params(&mut init::rng(4));
+        let mut grad = vec![0.0f32; net.param_len()];
+        let mut ws = net.workspace();
+        let batch: Vec<usize> = (0..32).collect();
+        let mb = data.batch(&batch);
+        group.throughput(Throughput::Elements(32));
+        group.bench_function(BenchmarkId::new("loss_and_grad_b32", "speech_cnn"), |b| {
+            b.iter(|| {
+                black_box(net.loss_and_grad(
+                    &params,
+                    &mb.features,
+                    &mb.labels,
+                    &mut grad,
+                    &mut ws,
+                ))
+            });
+        });
+    }
+    for (name, model, spec) in [
+        (
+            "vision",
+            gfl_nn::zoo::vision_model(),
+            SyntheticSpec::vision_like(),
+        ),
+        (
+            "speech",
+            gfl_nn::zoo::speech_model(),
+            SyntheticSpec::speech_like(),
+        ),
+    ] {
+        let data = spec.generate(256, 1);
+        let params = model.init_params(&mut init::rng(2));
+        let mut grad = vec![0.0f32; model.param_len()];
+        let mut ws = model.workspace();
+        let batch: Vec<usize> = (0..32).collect();
+        let mb = data.batch(&batch);
+        group.throughput(Throughput::Elements(32));
+        group.bench_function(BenchmarkId::new("loss_and_grad_b32", name), |b| {
+            b.iter(|| {
+                black_box(model.loss_and_grad(
+                    &params,
+                    &mb.features,
+                    &mb.labels,
+                    &mut grad,
+                    &mut ws,
+                ))
+            });
+        });
+        group.throughput(Throughput::Elements(256));
+        group.bench_function(BenchmarkId::new("evaluate_256", name), |b| {
+            b.iter(|| black_box(model.evaluate(&params, data.features(), data.labels())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nn);
+criterion_main!(benches);

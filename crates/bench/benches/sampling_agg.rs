@@ -1,0 +1,66 @@
+//! §6 machinery — Eq. 34 probability computation, without-replacement
+//! sampling, and the three aggregation-weighting kernels (Line 15, Eq. 4,
+//! Eq. 35) plus the weighted-sum aggregation itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gfl_bench::random_vectors;
+use gfl_core::sampling::{
+    aggregation_weights, sample_without_replacement, AggregationWeighting, SamplingStrategy,
+};
+use gfl_tensor::{init, ops};
+use rand::Rng;
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = init::rng(3);
+    let covs: Vec<f32> = (0..240).map(|_| rng.gen_range(0.05..2.0)).collect();
+
+    let mut group = c.benchmark_group("eq34_sampling");
+    for strat in [
+        SamplingStrategy::Random,
+        SamplingStrategy::RCov,
+        SamplingStrategy::SRCov,
+        SamplingStrategy::ESRCov,
+    ] {
+        group.bench_function(BenchmarkId::new("probabilities", strat.name()), |b| {
+            b.iter(|| black_box(strat.probabilities(&covs)));
+        });
+    }
+    let p = SamplingStrategy::ESRCov.probabilities(&covs);
+    group.bench_function("sample_12_of_240", |b| {
+        b.iter(|| {
+            let mut r = init::rng(7);
+            black_box(sample_without_replacement(&mut r, &p, 12))
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("aggregation");
+    let sizes: Vec<usize> = (0..12).map(|i| 300 + i * 40).collect();
+    let probs = vec![1.0 / 12.0f32; 12];
+    for (name, w) in [
+        ("standard", AggregationWeighting::Standard),
+        ("unbiased", AggregationWeighting::Unbiased),
+        ("stabilized", AggregationWeighting::Stabilized),
+    ] {
+        group.bench_function(BenchmarkId::new("weights", name), |b| {
+            b.iter(|| black_box(aggregation_weights(w, &sizes, &probs, 30_000)));
+        });
+    }
+    // Global aggregation over 12 group models of vision-model size.
+    let dim = gfl_nn::zoo::vision_model().param_len();
+    let models = random_vectors(12, dim, 9);
+    let weights = aggregation_weights(AggregationWeighting::Standard, &sizes, &probs, 30_000);
+    let mut out = vec![0.0f32; dim];
+    group.bench_function("weighted_sum_12_models", |b| {
+        b.iter(|| {
+            let views: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+            ops::weighted_sum_into(&views, &weights, &mut out);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Minimal `--key value` argument parser with typed, defaulted getters.
+
+use std::collections::BTreeMap;
+
+/// Parse-time errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// An argument did not start with `--`.
+    NotAFlag(String),
+    /// A `--key` was given twice.
+    Duplicate(String),
+    /// A value failed to parse: (key, value, expected type).
+    BadValue(String, String, &'static str),
+    /// A key is not recognized by the command.
+    Unknown(String),
+    /// A required key is missing.
+    Missing(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::NotAFlag(a) => write!(f, "expected --flag, got '{a}'"),
+            ParseError::Duplicate(k) => write!(f, "--{k} given more than once"),
+            ParseError::BadValue(k, v, ty) => {
+                write!(f, "--{k}: '{v}' is not a valid {ty}")
+            }
+            ParseError::Unknown(k) => write!(f, "unknown option --{k}"),
+            ParseError::Missing(k) => write!(f, "missing required option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parsed `--key value` pairs; bare `--flag`s get the value `"true"`.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    /// Keys read by a getter; used to reject unknown options.
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parses an argv slice (after the subcommand).
+    pub fn parse(argv: &[String]) -> Result<Self, ParseError> {
+        let mut values = BTreeMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ParseError::NotAFlag(arg.clone()));
+            };
+            let key = key.to_string();
+            // Value = next token unless it is another flag or absent.
+            let value = match argv.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    i += 1;
+                    next.clone()
+                }
+                _ => "true".to_string(),
+            };
+            if values.insert(key.clone(), value).is_some() {
+                return Err(ParseError::Duplicate(key));
+            }
+            i += 1;
+        }
+        Ok(Self {
+            values,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    fn raw(&self, key: &str) -> Option<&str> {
+        self.consumed.borrow_mut().push(key.to_string());
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// True if `--help` was passed.
+    pub fn wants_help(&self) -> bool {
+        self.raw("help").is_some()
+    }
+
+    /// String option with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.raw(key).unwrap_or(default).to_string()
+    }
+
+    /// Optional string (no default).
+    pub fn get_opt(&self, key: &str) -> Option<String> {
+        self.raw(key).map(str::to_string)
+    }
+
+    /// Typed option with default.
+    pub fn get<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        ty: &'static str,
+    ) -> Result<T, ParseError> {
+        match self.raw(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ParseError::BadValue(key.into(), v.into(), ty)),
+        }
+    }
+
+    /// Boolean flag (present ⇒ true unless an explicit value is given).
+    pub fn get_flag(&self, key: &str) -> Result<bool, ParseError> {
+        match self.raw(key) {
+            None => Ok(false),
+            Some("true") => Ok(true),
+            Some("false") => Ok(false),
+            Some(v) => Err(ParseError::BadValue(key.into(), v.into(), "bool")),
+        }
+    }
+
+    /// After all getters ran, rejects any option that no getter consumed.
+    pub fn reject_unknown(&self) -> Result<(), ParseError> {
+        let consumed = self.consumed.borrow();
+        for key in self.values.keys() {
+            if !consumed.iter().any(|c| c == key) {
+                return Err(ParseError::Unknown(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = Args::parse(&argv("--alpha 0.1 --clients 120")).unwrap();
+        assert_eq!(a.get("alpha", 1.0f64, "float").unwrap(), 0.1);
+        assert_eq!(a.get("clients", 0usize, "int").unwrap(), 120);
+    }
+
+    #[test]
+    fn bare_flags_are_true() {
+        let a = Args::parse(&argv("--secure --alpha 0.5")).unwrap();
+        assert!(a.get_flag("secure").unwrap());
+        assert!(!a.get_flag("absent").unwrap());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = Args::parse(&argv("")).unwrap();
+        assert_eq!(a.get("rounds", 60usize, "int").unwrap(), 60);
+        assert_eq!(a.get_str("task", "vision"), "vision");
+    }
+
+    #[test]
+    fn rejects_non_flags() {
+        assert_eq!(
+            Args::parse(&argv("positional")).unwrap_err(),
+            ParseError::NotAFlag("positional".into())
+        );
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert_eq!(
+            Args::parse(&argv("--a 1 --a 2")).unwrap_err(),
+            ParseError::Duplicate("a".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let a = Args::parse(&argv("--rounds banana")).unwrap();
+        assert!(matches!(
+            a.get("rounds", 1usize, "int").unwrap_err(),
+            ParseError::BadValue(..)
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_after_consumption() {
+        let a = Args::parse(&argv("--alpha 0.1 --typo 3")).unwrap();
+        let _ = a.get("alpha", 1.0f64, "float");
+        assert!(matches!(
+            a.reject_unknown().unwrap_err(),
+            ParseError::Unknown(k) if k == "typo"
+        ));
+    }
+
+    #[test]
+    fn accepts_all_consumed() {
+        let a = Args::parse(&argv("--alpha 0.1")).unwrap();
+        let _ = a.get("alpha", 1.0f64, "float");
+        assert!(a.reject_unknown().is_ok());
+    }
+}

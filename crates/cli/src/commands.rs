@@ -1,0 +1,553 @@
+//! The four `gfl` subcommands.
+
+use std::io::Write;
+
+use gfl_baselines::{FedNova, FedProx, Scaffold};
+use gfl_core::checkpoint::Checkpoint;
+use gfl_core::cov::{group_cov, mean_group_cov};
+use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, Trainer};
+use gfl_core::grouping::{
+    CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping, VarianceGrouping,
+};
+use gfl_core::local::FedAvg;
+use gfl_core::sampling::{AggregationWeighting, SamplingStrategy};
+use gfl_core::theory::{self, TheoremInputs};
+use gfl_data::{ClientPartition, Dataset, PartitionSpec, SyntheticSpec};
+use gfl_nn::sgd::LrSchedule;
+use gfl_sim::{CostModel, GroupOpKind, Task, Topology};
+
+use crate::args::{Args, ParseError};
+
+/// Command-level errors.
+#[derive(Debug)]
+pub enum CommandError {
+    Parse(ParseError),
+    Invalid(String),
+    Io(std::io::Error),
+    /// Not an error: `--help` was requested; payload is the help text.
+    Help(&'static str),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Parse(e) => write!(f, "{e}"),
+            CommandError::Invalid(m) => write!(f, "{m}"),
+            CommandError::Io(e) => write!(f, "io: {e}"),
+            CommandError::Help(_) => write!(f, "help requested"),
+        }
+    }
+}
+
+impl From<ParseError> for CommandError {
+    fn from(e: ParseError) -> Self {
+        CommandError::Parse(e)
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+type CmdResult = Result<(), CommandError>;
+
+const SIMULATE_HELP: &str = "\
+gfl simulate — run a federated training session
+
+DATA (synthetic unless --data is given):
+  --data PATH        CSV dataset, label in last column (see gfl-data::csv)
+  --task vision|speech   synthetic task preset          [vision]
+  --samples N        synthetic dataset size             [12000]
+  --alpha F          Dirichlet concentration            [0.1]
+  --clients N        number of clients                  [90]
+  --edges N          number of edge servers             [3]
+
+GROUPING & SAMPLING:
+  --grouping covg|rg|cdg|kldg|varg                      [covg]
+  --min-gs N         minimum group size                 [5]
+  --max-cov F        CoV target (covg)                  [0.5]
+  --group-size N     target size (rg/cdg/kldg)          [6]
+  --sampling random|rcov|srcov|esrcov                   [esrcov]
+  --weighting standard|unbiased|stabilized              [standard]
+
+TRAINING:
+  --method fedavg|fedprox|scaffold|fednova              [fedavg]
+  --mu F             FedProx proximal strength          [0.1]
+  --rounds T  --k K  --e E  --sample S  --batch B       [40 5 2 4 32]
+  --lr F             learning rate                      [0.05]
+  --budget F         cost budget (emulated seconds)     [unlimited]
+  --seed N                                              [42]
+  --secure           route aggregation through real SecAgg
+  --dropout F        per-group-round client dropout     [0.0]
+
+OUTPUT:
+  --csv PATH         write the trajectory as CSV
+  --checkpoint PATH  write a resumable snapshot at the end";
+
+/// `gfl simulate`.
+pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        return Err(CommandError::Help(SIMULATE_HELP));
+    }
+    let seed: u64 = args.get("seed", 42, "int")?;
+    let task = parse_task(&args.get_str("task", "vision"))?;
+
+    // --- data ---
+    let dataset = load_or_generate(&args, task, seed)?;
+    let (train, test) = dataset.split_holdout(6);
+    let clients: usize = args.get("clients", 90, "int")?;
+    let edges: usize = args.get("edges", 3, "int")?;
+    let alpha: f64 = args.get("alpha", 0.1, "float")?;
+    let partition = ClientPartition::dirichlet(
+        &train,
+        &PartitionSpec {
+            num_clients: clients,
+            alpha,
+            min_size: 20,
+            max_size: 200,
+            seed,
+        },
+    );
+    let topology = Topology::even_split(edges, partition.sizes());
+
+    // --- grouping ---
+    let grouping = parse_grouping(&args)?;
+    let groups = form_groups_per_edge(grouping.as_ref(), &topology, &partition.label_matrix, seed);
+    writeln!(
+        out,
+        "formed {} groups (mean CoV {:.3})",
+        groups.len(),
+        mean_group_cov(&partition.label_matrix, &groups)
+    )?;
+
+    // --- config ---
+    let config = GroupFelConfig {
+        global_rounds: args.get("rounds", 40, "int")?,
+        group_rounds: args.get("k", 5, "int")?,
+        local_rounds: args.get("e", 2, "int")?,
+        sampled_groups: args.get("sample", 4, "int")?,
+        batch_size: args.get("batch", 32, "int")?,
+        lr: LrSchedule::Constant(args.get("lr", 0.05f32, "float")?),
+        weighting: parse_weighting(&args.get_str("weighting", "standard"))?,
+        eval_every: args.get("eval-every", 2, "int")?,
+        seed,
+        task,
+        cost_budget: args.get_opt("budget").map(|b| b.parse()).transpose().map_err(
+            |_| ParseError::BadValue("budget".into(), "?".into(), "float"),
+        )?,
+        secure_aggregation: args.get_flag("secure")?,
+        dropout_prob: args.get("dropout", 0.0f64, "float")?,
+    };
+    let sampling = parse_sampling(&args.get_str("sampling", "esrcov"))?;
+    let method = args.get_str("method", "fedavg");
+    let mu: f32 = args.get("mu", 0.1, "float")?;
+    let csv_path = args.get_opt("csv");
+    let checkpoint_path = args.get_opt("checkpoint");
+    args.reject_unknown()?;
+
+    // --- model: pick by feature dimensionality ---
+    let model = model_for(&train, task);
+    let param_count = model.param_len();
+    let trainer = Trainer::new(config.clone(), model, train, partition, test);
+
+    writeln!(
+        out,
+        "training {method} on {} clients / {} edges ({param_count} params)",
+        clients, edges
+    )?;
+    let (history, final_params) = match method.as_str() {
+        "fedavg" => trainer.run_returning_params(&groups, &FedAvg, sampling),
+        "fedprox" => trainer.run_returning_params(&groups, &FedProx { mu }, sampling),
+        "scaffold" => {
+            let s = Scaffold::new(param_count, clients);
+            trainer.run_returning_params(&groups, &s, sampling)
+        }
+        "fednova" => {
+            let s = FedNova::from_sizes(
+                &trainer.partition().sizes(),
+                config.local_rounds,
+                config.batch_size,
+            );
+            trainer.run_returning_params(&groups, &s, sampling)
+        }
+        other => {
+            return Err(CommandError::Invalid(format!(
+                "unknown --method '{other}' (fedavg|fedprox|scaffold|fednova)"
+            )))
+        }
+    };
+
+    writeln!(out, "\n round       cost  accuracy    loss")?;
+    for r in history.records() {
+        writeln!(
+            out,
+            "{:6} {:10.0} {:9.4} {:7.4}",
+            r.round, r.cost, r.accuracy, r.loss
+        )?;
+    }
+    writeln!(out, "\nbest accuracy: {:.4}", history.best_accuracy())?;
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, history.to_csv())?;
+        writeln!(out, "wrote {path}")?;
+    }
+    if let Some(path) = checkpoint_path {
+        let last = history.records().last();
+        let cp = Checkpoint::new(
+            final_params,
+            last.map_or(0, |r| r.round + 1),
+            history.clone(),
+            config,
+            last.map_or(0.0, |r| r.cost),
+        );
+        cp.save(&path)
+            .map_err(|e| CommandError::Invalid(e.to_string()))?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+const GROUP_HELP: &str = "\
+gfl group — form client groups and report their quality
+
+  --data PATH | --task vision|speech --samples N   data source
+  --alpha F --clients N --edges N --seed N         federation shape
+  --grouping covg|rg|cdg|kldg|varg                 algorithm [covg]
+  --min-gs N --max-cov F --group-size N            algorithm knobs
+  --json             emit the groups as JSON instead of a table";
+
+/// `gfl group`.
+pub fn group(argv: &[String], out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        return Err(CommandError::Help(GROUP_HELP));
+    }
+    let seed: u64 = args.get("seed", 42, "int")?;
+    let task = parse_task(&args.get_str("task", "vision"))?;
+    let dataset = load_or_generate(&args, task, seed)?;
+    let clients: usize = args.get("clients", 90, "int")?;
+    let edges: usize = args.get("edges", 3, "int")?;
+    let alpha: f64 = args.get("alpha", 0.1, "float")?;
+    let partition = ClientPartition::dirichlet(
+        &dataset,
+        &PartitionSpec {
+            num_clients: clients,
+            alpha,
+            min_size: 20,
+            max_size: 200,
+            seed,
+        },
+    );
+    let topology = Topology::even_split(edges, partition.sizes());
+    let grouping = parse_grouping(&args)?;
+    let as_json = args.get_flag("json")?;
+    args.reject_unknown()?;
+
+    let groups = form_groups_per_edge(grouping.as_ref(), &topology, &partition.label_matrix, seed);
+    if as_json {
+        let payload: Vec<serde_json::Value> = groups
+            .iter()
+            .map(|g| {
+                serde_json::json!({
+                    "members": g,
+                    "cov": group_cov(&partition.label_matrix, g),
+                    "samples": g.iter().map(|&c| partition.indices[c].len()).sum::<usize>(),
+                })
+            })
+            .collect();
+        writeln!(out, "{}", serde_json::to_string_pretty(&payload).unwrap())?;
+    } else {
+        writeln!(out, "group  size  samples     cov")?;
+        for (i, g) in groups.iter().enumerate() {
+            let samples: usize = g.iter().map(|&c| partition.indices[c].len()).sum();
+            writeln!(
+                out,
+                "{:5} {:5} {:8} {:7.3}",
+                i,
+                g.len(),
+                samples,
+                group_cov(&partition.label_matrix, g)
+            )?;
+        }
+        writeln!(
+            out,
+            "\n{} groups, mean CoV {:.3}",
+            groups.len(),
+            mean_group_cov(&partition.label_matrix, &groups)
+        )?;
+    }
+    Ok(())
+}
+
+const COST_HELP: &str = "\
+gfl cost — print the calibrated RPi cost curves (Fig. 2a / Fig. 8)
+
+  --task vision|speech    which task's table [vision]
+  --max N                 largest x to print [50]";
+
+/// `gfl cost`.
+pub fn cost(argv: &[String], out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        return Err(CommandError::Help(COST_HELP));
+    }
+    let task = parse_task(&args.get_str("task", "vision"))?;
+    let max: usize = args.get("max", 50, "int")?;
+    args.reject_unknown()?;
+    let m = CostModel::for_task(task);
+    writeln!(out, "  x  training  backdoor    secagg  scaffold_secagg")?;
+    for x in (0..=max).step_by((max / 10).max(1)) {
+        writeln!(
+            out,
+            "{:3} {:9.2} {:9.2} {:9.2} {:16.2}",
+            x,
+            m.training(x),
+            m.group_op(GroupOpKind::BackdoorDetection, x),
+            m.group_op(GroupOpKind::SecureAggregation, x),
+            m.group_op(GroupOpKind::ScaffoldSecureAggregation, x),
+        )?;
+    }
+    Ok(())
+}
+
+const THEORY_HELP: &str = "\
+gfl theory — evaluate the Theorem 1 convergence bound
+
+  --eta F --t N --k N --e N --sampled N   schedule      [0.01 200 5 2 12]
+  --l F --sigma2 F --zeta2 F --zetag2 F   constants     [1 1 1 0.5]
+  --gamma F --big-gamma F --gamma-p F     group stats   [1.2 1.3 120]
+  --group-size F                                        [6]";
+
+/// `gfl theory`.
+pub fn theory(argv: &[String], out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv)?;
+    if args.wants_help() {
+        return Err(CommandError::Help(THEORY_HELP));
+    }
+    let reference = TheoremInputs::reference();
+    let inputs = TheoremInputs {
+        initial_gap: args.get("gap", reference.initial_gap, "float")?,
+        eta: args.get("eta", reference.eta, "float")?,
+        t: args.get("t", reference.t, "int")?,
+        k: args.get("k", reference.k, "int")?,
+        e: args.get("e", reference.e, "int")?,
+        l: args.get("l", reference.l, "float")?,
+        sigma_sq: args.get("sigma2", reference.sigma_sq, "float")?,
+        zeta_sq: args.get("zeta2", reference.zeta_sq, "float")?,
+        zeta_g_sq: args.get("zetag2", reference.zeta_g_sq, "float")?,
+        gamma: args.get("gamma", reference.gamma, "float")?,
+        big_gamma: args.get("big-gamma", reference.big_gamma, "float")?,
+        gamma_p: args.get("gamma-p", reference.gamma_p, "float")?,
+        sampled: args.get("sampled", reference.sampled, "int")?,
+        group_size: args.get("group-size", reference.group_size, "float")?,
+    };
+    args.reject_unknown()?;
+    match theory::theorem1_bound(&inputs) {
+        Some(bound) => {
+            writeln!(out, "optimization term:  {:.6}", bound.optimization)?;
+            writeln!(out, "sampling term:      {:.6}", bound.sampling)?;
+            writeln!(out, "heterogeneity term: {:.6}", bound.heterogeneity)?;
+            writeln!(out, "total bound:        {:.6}", bound.total())?;
+        }
+        None => {
+            writeln!(
+                out,
+                "configuration violates the step-size conditions (Eq. 14/18): \
+                 eta must satisfy eta <= 1/(2KE) and keep lambda_1 > 0"
+            )?;
+        }
+    }
+    Ok(())
+}
+
+// --- shared parsing helpers ---
+
+fn parse_task(s: &str) -> Result<Task, CommandError> {
+    match s {
+        "vision" => Ok(Task::Vision),
+        "speech" => Ok(Task::Speech),
+        other => Err(CommandError::Invalid(format!(
+            "unknown --task '{other}' (vision|speech)"
+        ))),
+    }
+}
+
+fn parse_sampling(s: &str) -> Result<SamplingStrategy, CommandError> {
+    match s {
+        "random" => Ok(SamplingStrategy::Random),
+        "rcov" => Ok(SamplingStrategy::RCov),
+        "srcov" => Ok(SamplingStrategy::SRCov),
+        "esrcov" => Ok(SamplingStrategy::ESRCov),
+        other => Err(CommandError::Invalid(format!(
+            "unknown --sampling '{other}' (random|rcov|srcov|esrcov)"
+        ))),
+    }
+}
+
+fn parse_weighting(s: &str) -> Result<AggregationWeighting, CommandError> {
+    match s {
+        "standard" => Ok(AggregationWeighting::Standard),
+        "unbiased" => Ok(AggregationWeighting::Unbiased),
+        "stabilized" => Ok(AggregationWeighting::Stabilized),
+        other => Err(CommandError::Invalid(format!(
+            "unknown --weighting '{other}' (standard|unbiased|stabilized)"
+        ))),
+    }
+}
+
+fn parse_grouping(args: &Args) -> Result<Box<dyn GroupingAlgorithm>, CommandError> {
+    let min_gs: usize = args.get("min-gs", 5, "int")?;
+    let max_cov: f32 = args.get("max-cov", 0.5, "float")?;
+    let group_size: usize = args.get("group-size", 6, "int")?;
+    Ok(match args.get_str("grouping", "covg").as_str() {
+        "covg" => Box::new(CovGrouping {
+            min_group_size: min_gs,
+            max_cov,
+        }),
+        "rg" => Box::new(RandomGrouping { group_size }),
+        "cdg" => Box::new(CdgGrouping {
+            group_size,
+            kmeans_iters: 10,
+        }),
+        "kldg" => Box::new(KldGrouping { group_size }),
+        "varg" => Box::new(VarianceGrouping {
+            min_group_size: min_gs,
+            max_variance: 60.0,
+        }),
+        other => {
+            return Err(CommandError::Invalid(format!(
+                "unknown --grouping '{other}' (covg|rg|cdg|kldg|varg)"
+            )))
+        }
+    })
+}
+
+fn load_or_generate(args: &Args, task: Task, seed: u64) -> Result<Dataset, CommandError> {
+    if let Some(path) = args.get_opt("data") {
+        return gfl_data::load_dataset(&path)
+            .map_err(|e| CommandError::Invalid(format!("--data {path}: {e}")));
+    }
+    let samples: usize = args.get("samples", 12_000, "int")?;
+    let spec = match task {
+        Task::Vision => SyntheticSpec::vision_like(),
+        Task::Speech => SyntheticSpec::speech_like(),
+    };
+    Ok(spec.generate(samples, seed))
+}
+
+fn model_for(train: &Dataset, task: Task) -> gfl_nn::Network {
+    // Synthetic presets use the zoo models; CSV data gets an MLP sized to
+    // its dimensions.
+    match task {
+        Task::Vision if train.feature_dim() == 64 && train.num_classes() == 10 => {
+            gfl_nn::zoo::vision_model()
+        }
+        Task::Speech if train.feature_dim() == 40 && train.num_classes() == 35 => {
+            gfl_nn::zoo::speech_model()
+        }
+        _ => gfl_nn::Mlp::new(vec![
+            train.feature_dim(),
+            (train.feature_dim() * 2).max(16),
+            train.num_classes(),
+        ])
+        .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn run_cmd(
+        f: fn(&[String], &mut dyn Write) -> CmdResult,
+        args: &str,
+    ) -> (Result<(), CommandError>, String) {
+        let mut buf = Vec::new();
+        let r = f(&argv(args), &mut buf);
+        (r, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn cost_prints_table() {
+        let (r, out) = run_cmd(cost, "--task speech --max 20");
+        r.unwrap();
+        assert!(out.contains("scaffold_secagg"));
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn cost_rejects_unknown_flag() {
+        let (r, _) = run_cmd(cost, "--task vision --bogus 1");
+        assert!(matches!(r.unwrap_err(), CommandError::Parse(_)));
+    }
+
+    #[test]
+    fn theory_evaluates_reference() {
+        let (r, out) = run_cmd(theory, "");
+        r.unwrap();
+        assert!(out.contains("total bound"));
+    }
+
+    #[test]
+    fn theory_reports_invalid_eta() {
+        let (r, out) = run_cmd(theory, "--eta 1.0");
+        r.unwrap();
+        assert!(out.contains("violates"));
+    }
+
+    #[test]
+    fn group_reports_quality() {
+        let (r, out) = run_cmd(
+            group,
+            "--clients 12 --edges 2 --samples 1200 --min-gs 2 --alpha 0.5 --seed 3",
+        );
+        r.unwrap();
+        assert!(out.contains("mean CoV"));
+    }
+
+    #[test]
+    fn group_emits_json() {
+        let (r, out) = run_cmd(
+            group,
+            "--clients 8 --edges 2 --samples 800 --min-gs 2 --json",
+        );
+        r.unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed.as_array().unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn simulate_tiny_session_runs() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+    }
+
+    #[test]
+    fn simulate_unknown_method_errors() {
+        let (r, _) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --method sgd --min-gs 2",
+        );
+        assert!(matches!(r.unwrap_err(), CommandError::Invalid(_)));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        for f in [simulate, group, cost, theory] {
+            let (r, _) = run_cmd(f, "--help");
+            assert!(matches!(r.unwrap_err(), CommandError::Help(_)));
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Checkpointing: persist and resume a training session.
+//!
+//! Pairs with [`crate::engine::Trainer::run_resumable`]: a long federated
+//! run (or a §6.1 regrouping schedule) can snapshot the model, the
+//! trajectory, and the configuration after any global round and pick up
+//! where it left off — including across process restarts, since everything
+//! in the engine is deterministic given `(seed, round)`.
+
+use std::path::Path;
+
+use gfl_nn::Params;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::GroupFelConfig;
+use crate::history::RunHistory;
+
+/// A resumable training snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// The global model `x_t`.
+    pub params: Params,
+    /// Next global round to run (rounds `0..round` are complete).
+    pub round: usize,
+    /// Evaluation trajectory so far.
+    pub history: RunHistory,
+    /// The configuration the run was started with.
+    pub config: GroupFelConfig,
+    /// Cumulative emulated cost so far (Eq. 5).
+    pub cost_so_far: f64,
+}
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors from checkpoint IO.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    Format(serde_json::Error),
+    /// Found version, supported version.
+    Version(u32, u32),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io error: {e}"),
+            CheckpointError::Format(e) => write!(f, "format error: {e}"),
+            CheckpointError::Version(found, want) => {
+                write!(f, "checkpoint version {found}, supported {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Builds a snapshot for the state after `completed_rounds` rounds.
+    pub fn new(
+        params: Params,
+        completed_rounds: usize,
+        history: RunHistory,
+        config: GroupFelConfig,
+        cost_so_far: f64,
+    ) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            params,
+            round: completed_rounds,
+            history,
+            config,
+            cost_so_far,
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("checkpoint serialization cannot fail")
+    }
+
+    /// Parses from JSON, validating the version.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        let cp: Checkpoint = serde_json::from_str(json).map_err(CheckpointError::Format)?;
+        if cp.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version(cp.version, CHECKPOINT_VERSION));
+        }
+        Ok(cp)
+    }
+
+    /// Writes the checkpoint to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path, self.to_json()).map_err(CheckpointError::Io)
+    }
+
+    /// Reads a checkpoint from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let json = std::fs::read_to_string(path).map_err(CheckpointError::Io)?;
+        Self::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RoundRecord;
+
+    fn sample() -> Checkpoint {
+        let mut history = RunHistory::default();
+        history.push(RoundRecord {
+            round: 0,
+            cost: 12.5,
+            accuracy: 0.4,
+            loss: 1.2,
+            train_loss: 1.5,
+        });
+        Checkpoint::new(
+            vec![0.25, -1.5, 3.0],
+            1,
+            history,
+            GroupFelConfig::tiny(),
+            12.5,
+        )
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cp = sample();
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(back.params, cp.params);
+        assert_eq!(back.round, 1);
+        assert_eq!(back.history.records().len(), 1);
+        assert_eq!(back.cost_so_far, 12.5);
+        assert_eq!(back.config.global_rounds, cp.config.global_rounds);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cp = sample();
+        let path = std::env::temp_dir().join("gfl_checkpoint_test.json");
+        cp.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.params, cp.params);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut cp = sample();
+        cp.version = 999;
+        let json = serde_json::to_string(&cp).unwrap();
+        assert!(matches!(
+            Checkpoint::from_json(&json).unwrap_err(),
+            CheckpointError::Version(999, CHECKPOINT_VERSION)
+        ));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(matches!(
+            Checkpoint::from_json("not json").unwrap_err(),
+            CheckpointError::Format(_)
+        ));
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_equivalently() {
+        // Run 6 rounds straight vs 3 rounds → checkpoint → restore → 3
+        // more: the resumable engine must produce the same final model.
+        use crate::engine::{form_groups_per_edge, Trainer};
+        use crate::grouping::CovGrouping;
+        use crate::local::FedAvg;
+        use crate::sampling::SamplingStrategy;
+        use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
+        use gfl_sim::Topology;
+
+        let data = SyntheticSpec::tiny().generate(500, 77);
+        let (train, test) = data.split_holdout(5);
+        let partition = ClientPartition::dirichlet(&train, &PartitionSpec::tiny(0.5, 77));
+        let topology = Topology::even_split(2, partition.sizes());
+        let groups = form_groups_per_edge(
+            &CovGrouping {
+                min_group_size: 2,
+                max_cov: 1.0,
+            },
+            &topology,
+            &partition.label_matrix,
+            77,
+        );
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.global_rounds = 6;
+        cfg.seed = 77;
+        let trainer = Trainer::new(
+            cfg.clone(),
+            gfl_nn::zoo::tiny(4, 3),
+            train,
+            partition,
+            test,
+        );
+        let covs: Vec<f32> = groups
+            .iter()
+            .map(|g| crate::cov::group_cov(&trainer.partition().label_matrix, g))
+            .collect();
+        let probs = SamplingStrategy::Random.probabilities(&covs);
+
+        // Straight 6 rounds.
+        let mut p_straight = trainer
+            .model()
+            .init_params(&mut gfl_tensor::init::rng(77));
+        let mut ledger = trainer.ledger_for(&FedAvg);
+        let mut hist = RunHistory::default();
+        trainer.run_resumable(
+            &groups, &FedAvg, &probs, &mut p_straight, &mut ledger, &mut hist, 0, 6,
+        );
+
+        // 3 rounds, checkpoint to JSON, restore, 3 more.
+        let mut p_half = trainer
+            .model()
+            .init_params(&mut gfl_tensor::init::rng(77));
+        let mut ledger2 = trainer.ledger_for(&FedAvg);
+        let mut hist2 = RunHistory::default();
+        trainer.run_resumable(
+            &groups, &FedAvg, &probs, &mut p_half, &mut ledger2, &mut hist2, 0, 3,
+        );
+        let cp = Checkpoint::new(p_half, 3, hist2, cfg, ledger2.total());
+        let restored = Checkpoint::from_json(&cp.to_json()).unwrap();
+        let mut p_resumed = restored.params.clone();
+        let mut hist3 = restored.history.clone();
+        trainer.run_resumable(
+            &groups,
+            &FedAvg,
+            &probs,
+            &mut p_resumed,
+            &mut ledger2,
+            &mut hist3,
+            restored.round,
+            3,
+        );
+        for (a, b) in p_straight.iter().zip(p_resumed.iter()) {
+            assert!((a - b).abs() < 1e-6, "resume diverged: {a} vs {b}");
+        }
+    }
+}

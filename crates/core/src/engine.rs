@@ -1,0 +1,688 @@
+//! The Group-FEL training engine — Algorithm 1 of the paper.
+//!
+//! ```text
+//! form groups per edge server            (Lines 2–3, [`form_groups_per_edge`])
+//! p = Sampling-Prob(G)                   (Line 4, `SamplingStrategy`)
+//! for t in 0..T:
+//!     sample S_t ⊆ G by p                (Line 6)
+//!     for g in S_t, in parallel:         (Lines 7–14)
+//!         x_g ← x_t
+//!         for k in 0..K:
+//!             every client: E epochs SGD (Line 13, `LocalUpdate`)
+//!             x_g ← Σ n_i/n_g x_i        (Line 14, optionally via SecAgg)
+//!     x_{t+1} ← Σ w_g x_g                (Line 15 / Eq. 4 / Eq. 35)
+//! ```
+//!
+//! Every group's participation is charged to the cost ledger per Eq. 5,
+//! with the strategy's own group-operation mix and per-sample training
+//! factor (§7.1: "different quadratic cost functions for each method").
+
+use gfl_data::{ClientPartition, Dataset, LabelMatrix};
+use gfl_nn::sgd::LrSchedule;
+use gfl_nn::{Network, Params};
+use gfl_sim::{CostLedger, CostModel, Task, Topology};
+use gfl_tensor::init;
+use gfl_tensor::{ops, Scalar};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cov::group_cov;
+use crate::grouping::GroupingAlgorithm;
+use crate::history::{RoundRecord, RunHistory};
+use crate::local::{LocalScratch, LocalTask, LocalUpdate};
+use crate::sampling::{
+    aggregation_weights, sample_without_replacement, AggregationWeighting, SamplingStrategy,
+};
+use crate::Group;
+
+/// Hyperparameters of Algorithm 1 plus simulation knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupFelConfig {
+    /// Global rounds `T`.
+    pub global_rounds: usize,
+    /// Group rounds per global round `K` (paper: 5).
+    pub group_rounds: usize,
+    /// Local epochs per group round `E` (paper: 2).
+    pub local_rounds: usize,
+    /// Groups sampled per global round `S = |S_t|` (paper: 12 of 60).
+    pub sampled_groups: usize,
+    /// Minibatch size for local SGD.
+    pub batch_size: usize,
+    /// Learning-rate schedule over global rounds.
+    pub lr: LrSchedule,
+    /// Global aggregation weighting (Line 15 / Eq. 4 / Eq. 35).
+    pub weighting: AggregationWeighting,
+    /// Evaluate the global model every this many rounds (1 = every round).
+    pub eval_every: usize,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Which task's cost table to charge (Vision/Speech).
+    pub task: Task,
+    /// Stop once the ledger exceeds this budget (the paper's 10⁶-unit
+    /// budget in Table 1), `None` = run all `T` rounds.
+    pub cost_budget: Option<f64>,
+    /// Route group aggregation through the real pairwise-masking SecAgg
+    /// protocol instead of plain weighted averaging (slower; validates the
+    /// privacy path end-to-end — results are identical up to f32 rounding).
+    pub secure_aggregation: bool,
+    /// Probability that a client drops out of a group round after training
+    /// started (device churn). Dropped clients are excluded from the group
+    /// aggregation; with `secure_aggregation` on, the server runs the
+    /// protocol's dropout-recovery path. 0.0 disables churn.
+    pub dropout_prob: f64,
+}
+
+impl GroupFelConfig {
+    /// The paper's §7.2 configuration (K=5, E=2, 12 of 60 groups, 10⁶
+    /// budget) with a modest default round count.
+    pub fn paper_vision() -> Self {
+        Self {
+            global_rounds: 200,
+            group_rounds: 5,
+            local_rounds: 2,
+            sampled_groups: 12,
+            batch_size: 32,
+            lr: LrSchedule::Constant(0.05),
+            weighting: AggregationWeighting::Stabilized,
+            eval_every: 5,
+            seed: 42,
+            task: Task::Vision,
+            cost_budget: Some(1e6),
+            secure_aggregation: false,
+            dropout_prob: 0.0,
+        }
+    }
+
+    /// A tiny configuration for tests and doc examples.
+    pub fn tiny() -> Self {
+        Self {
+            global_rounds: 4,
+            group_rounds: 2,
+            local_rounds: 1,
+            sampled_groups: 2,
+            batch_size: 16,
+            lr: LrSchedule::Constant(0.1),
+            weighting: AggregationWeighting::Standard,
+            eval_every: 1,
+            seed: 7,
+            task: Task::Vision,
+            cost_budget: None,
+            secure_aggregation: false,
+            dropout_prob: 0.0,
+        }
+    }
+}
+
+/// Runs a grouping algorithm independently on every edge server's clients
+/// (Algorithm 1, Lines 2–3) and returns groups in *global* client ids.
+pub fn form_groups_per_edge(
+    algo: &dyn GroupingAlgorithm,
+    topology: &Topology,
+    labels: &LabelMatrix,
+    seed: u64,
+) -> Vec<Group> {
+    let mut groups = Vec::new();
+    for j in 0..topology.num_edges() {
+        let members = topology.clients_of(j);
+        let local = labels.restrict(members);
+        let mut rng = init::rng(seed ^ (0x9E37_79B9 ^ (j as u64) << 32));
+        for group in algo.form_groups(&local, &mut rng) {
+            groups.push(group.into_iter().map(|i| members[i]).collect());
+        }
+    }
+    groups
+}
+
+/// The Group-FEL trainer: owns the model, the federated data layout, and
+/// the test set.
+pub struct Trainer {
+    config: GroupFelConfig,
+    model: Network,
+    train: Dataset,
+    partition: ClientPartition,
+    test: Dataset,
+}
+
+/// Result of one group's work within a global round.
+struct GroupOutcome {
+    params: Params,
+    samples: usize,
+    train_loss: Scalar,
+    members: Vec<usize>,
+}
+
+impl Trainer {
+    pub fn new(
+        config: GroupFelConfig,
+        model: Network,
+        train: Dataset,
+        partition: ClientPartition,
+        test: Dataset,
+    ) -> Self {
+        assert_eq!(
+            model.input_dim(),
+            train.feature_dim(),
+            "model/data dimension mismatch"
+        );
+        assert!(config.global_rounds > 0 && config.group_rounds > 0);
+        assert!(config.eval_every > 0, "eval_every must be positive");
+        Self {
+            config,
+            model,
+            train,
+            partition,
+            test,
+        }
+    }
+
+    pub fn config(&self) -> &GroupFelConfig {
+        &self.config
+    }
+
+    pub fn model(&self) -> &Network {
+        &self.model
+    }
+
+    pub fn partition(&self) -> &ClientPartition {
+        &self.partition
+    }
+
+    /// The federated training dataset.
+    pub fn train_data(&self) -> &Dataset {
+        &self.train
+    }
+
+    /// The held-out test dataset.
+    pub fn test_data(&self) -> &Dataset {
+        &self.test
+    }
+
+    /// Number of samples held by a set of clients.
+    pub fn group_samples(&self, group: &[usize]) -> usize {
+        group.iter().map(|&c| self.partition.indices[c].len()).sum()
+    }
+
+    /// Evaluates parameters on the held-out test set.
+    pub fn evaluate(&self, params: &[Scalar]) -> gfl_nn::mlp::EvalResult {
+        self.model
+            .evaluate(params, self.test.features(), self.test.labels())
+    }
+
+    /// Builds the cost ledger for a strategy (its op mix and train factor).
+    pub fn ledger_for(&self, strategy: &dyn LocalUpdate) -> CostLedger {
+        let mut model = CostModel::for_task(self.config.task);
+        let f = strategy.training_cost_factor();
+        model.training.a *= f;
+        model.training.b *= f;
+        CostLedger::new(model, strategy.group_ops())
+    }
+
+    /// Runs Algorithm 1 with the given groups, local strategy, and sampling
+    /// strategy. Returns the evaluation trajectory.
+    pub fn run<S: LocalUpdate>(
+        &self,
+        groups: &[Group],
+        strategy: &S,
+        sampling: SamplingStrategy,
+    ) -> RunHistory {
+        let covs: Vec<Scalar> = groups
+            .iter()
+            .map(|g| group_cov(&self.partition.label_matrix, g))
+            .collect();
+        let probs = sampling.probabilities(&covs);
+        self.run_with_probabilities(groups, strategy, &probs)
+    }
+
+    /// [`Trainer::run`] that also returns the final global model — for
+    /// callers that deploy or checkpoint the trained parameters.
+    pub fn run_returning_params<S: LocalUpdate>(
+        &self,
+        groups: &[Group],
+        strategy: &S,
+        sampling: SamplingStrategy,
+    ) -> (RunHistory, Params) {
+        let covs: Vec<Scalar> = groups
+            .iter()
+            .map(|g| group_cov(&self.partition.label_matrix, g))
+            .collect();
+        let probs = sampling.probabilities(&covs);
+        let mut rng = init::rng(self.config.seed);
+        let mut params = self.model.init_params(&mut rng);
+        let mut ledger = self.ledger_for(strategy);
+        let mut history = RunHistory::default();
+        self.run_resumable(
+            groups,
+            strategy,
+            &probs,
+            &mut params,
+            &mut ledger,
+            &mut history,
+            0,
+            self.config.global_rounds,
+        );
+        (history, params)
+    }
+
+    /// [`Trainer::run`] with an explicit probability vector (Line 4's `p`),
+    /// for experiments that construct `p` directly.
+    pub fn run_with_probabilities<S: LocalUpdate>(
+        &self,
+        groups: &[Group],
+        strategy: &S,
+        probs: &[Scalar],
+    ) -> RunHistory {
+        let mut rng = init::rng(self.config.seed);
+        let mut params = self.model.init_params(&mut rng);
+        let mut ledger = self.ledger_for(strategy);
+        let mut history = RunHistory::default();
+        self.run_resumable(
+            groups,
+            strategy,
+            probs,
+            &mut params,
+            &mut ledger,
+            &mut history,
+            0,
+            self.config.global_rounds,
+        );
+        history
+    }
+
+    /// Resumable core of Algorithm 1: runs `rounds` global rounds starting
+    /// at round index `start_round`, mutating `params`, `ledger`, and
+    /// `history` in place. Enables warm-started sessions — in particular
+    /// the §6.1 *regrouping* extension, where the caller re-forms groups
+    /// every few rounds and resumes training on the same model.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_resumable<S: LocalUpdate>(
+        &self,
+        groups: &[Group],
+        strategy: &S,
+        probs: &[Scalar],
+        params: &mut Params,
+        ledger: &mut CostLedger,
+        history: &mut RunHistory,
+        start_round: usize,
+        rounds: usize,
+    ) {
+        assert_eq!(groups.len(), probs.len(), "one probability per group");
+        assert!(!groups.is_empty(), "need at least one group");
+        let cfg = &self.config;
+        let total_samples = self.train.len();
+        let s = cfg.sampled_groups.clamp(1, groups.len());
+
+        for t in start_round..start_round + rounds {
+            let lr = cfg.lr.at(t);
+            // Sampling randomness is a pure function of (seed, t) so that a
+            // checkpointed-and-resumed session draws exactly the same
+            // groups as an uninterrupted one.
+            let mut rng = init::rng(
+                cfg.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+            );
+            let sampled = sample_without_replacement(&mut rng, probs, s);
+
+            // Lines 7–14: groups train in parallel.
+            let outcomes: Vec<GroupOutcome> = gfl_parallel::par_map(&sampled, |&gi| {
+                self.train_group_impl(params, &groups[gi], strategy, t, lr)
+            });
+
+            // Charge Eq. 5 for every sampled group.
+            for o in &outcomes {
+                let sizes: Vec<usize> = o
+                    .members
+                    .iter()
+                    .map(|&c| self.partition.indices[c].len())
+                    .collect();
+                ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
+            }
+            ledger.end_round();
+
+            // Line 15: global aggregation.
+            let sizes: Vec<usize> = outcomes.iter().map(|o| o.samples).collect();
+            let sampled_probs: Vec<Scalar> = sampled.iter().map(|&gi| probs[gi]).collect();
+            let weights = aggregation_weights(cfg.weighting, &sizes, &sampled_probs, total_samples);
+            let views: Vec<&[Scalar]> = outcomes.iter().map(|o| o.params.as_slice()).collect();
+            ops::weighted_sum_into(&views, &weights, params);
+
+            let participants: Vec<usize> = outcomes
+                .iter()
+                .flat_map(|o| o.members.iter().copied())
+                .collect();
+            strategy.end_global_round(&participants);
+
+            let train_loss = outcomes.iter().map(|o| o.train_loss).sum::<Scalar>()
+                / outcomes.len().max(1) as Scalar;
+
+            let over_budget = cfg.cost_budget.is_some_and(|b| ledger.total() >= b);
+            let last = t + 1 == start_round + rounds;
+            if t % cfg.eval_every == 0 || last || over_budget {
+                let eval = self.evaluate(params);
+                history.push(RoundRecord {
+                    round: t,
+                    cost: ledger.total(),
+                    accuracy: eval.accuracy,
+                    loss: eval.loss,
+                    train_loss,
+                });
+            }
+            if over_budget {
+                break;
+            }
+        }
+    }
+
+    /// Trains one group for `K` group rounds starting from `global` (Lines
+    /// 8–14). Public so baseline runners (FedCLAR) can reuse the exact same
+    /// group mechanics.
+    pub fn train_group<S: LocalUpdate>(
+        &self,
+        global: &[Scalar],
+        group: &[usize],
+        strategy: &S,
+        t: usize,
+        lr: Scalar,
+    ) -> GroupOutcomePublic {
+        let o = self.train_group_impl(global, group, strategy, t, lr);
+        GroupOutcomePublic {
+            params: o.params,
+            samples: o.samples,
+            train_loss: o.train_loss,
+        }
+    }
+
+    fn train_group_impl<S: LocalUpdate>(
+        &self,
+        global: &[Scalar],
+        group: &[usize],
+        strategy: &S,
+        t: usize,
+        lr: Scalar,
+    ) -> GroupOutcome {
+        let cfg = &self.config;
+        let n_g = self.group_samples(group).max(1);
+        let mut group_params: Params = global.to_vec();
+        let mut scratch = LocalScratch::new(&self.model);
+        let mut loss_acc = 0.0;
+        let mut loss_n = 0u32;
+        let mut client_params: Vec<Option<Params>> = vec![None; group.len()];
+
+        for k in 0..cfg.group_rounds {
+            for slot in client_params.iter_mut() {
+                *slot = None;
+            }
+            for (slot, &client) in group.iter().enumerate() {
+                let indices = &self.partition.indices[client];
+                // Independent, reproducible stream per (seed, t, k, client).
+                let mut crng = init::rng(
+                    cfg.seed
+                        ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (k as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                        ^ (client as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+                );
+                // Device churn: the client trains but drops before its
+                // upload reaches the edge aggregator.
+                let dropped = cfg.dropout_prob > 0.0 && crng.gen::<f64>() < cfg.dropout_prob;
+                if dropped {
+                    continue;
+                }
+                let mut p = group_params.clone();
+                let task = LocalTask {
+                    client,
+                    model: &self.model,
+                    group_start: &group_params,
+                    global_start: global,
+                    data: &self.train,
+                    indices,
+                    epochs: cfg.local_rounds,
+                    batch_size: cfg.batch_size,
+                    lr,
+                    round: t,
+                };
+                let loss = strategy.train(&task, &mut p, &mut scratch, &mut crng);
+                if !indices.is_empty() {
+                    loss_acc += loss;
+                    loss_n += 1;
+                }
+                client_params[slot] = Some(p);
+            }
+            // Line 14: group aggregation, weighted by n_i over this round's
+            // survivors.
+            let n_surv: usize = group
+                .iter()
+                .zip(client_params.iter())
+                .filter(|(_, p)| p.is_some())
+                .map(|(&c, _)| self.partition.indices[c].len())
+                .sum();
+            if n_surv == 0 {
+                continue; // every client dropped: group model unchanged
+            }
+            let weights: Vec<Scalar> = group
+                .iter()
+                .zip(client_params.iter())
+                .filter(|(_, p)| p.is_some())
+                .map(|(&c, _)| self.partition.indices[c].len() as Scalar / n_surv as Scalar)
+                .collect();
+            if cfg.secure_aggregation {
+                self.secure_group_aggregate(
+                    group,
+                    &client_params,
+                    &weights,
+                    &mut group_params,
+                    t,
+                    k,
+                );
+            } else {
+                let views: Vec<&[Scalar]> =
+                    client_params.iter().filter_map(|p| p.as_deref()).collect();
+                ops::weighted_sum_into(&views, &weights, &mut group_params);
+            }
+        }
+        GroupOutcome {
+            params: group_params,
+            samples: n_g,
+            train_loss: loss_acc / loss_n.max(1) as Scalar,
+            members: group.to_vec(),
+        }
+    }
+
+    /// Group aggregation through the real pairwise-masking protocol:
+    /// every surviving client masks its *weighted* model, the server
+    /// unmasks the survivor sum — including mask recovery for clients that
+    /// dropped mid-round (`weights` aligns with the surviving members in
+    /// group order).
+    fn secure_group_aggregate(
+        &self,
+        group: &[usize],
+        client_params: &[Option<Params>],
+        weights: &[Scalar],
+        out: &mut Params,
+        t: usize,
+        k: usize,
+    ) {
+        let dim = out.len();
+        let members: Vec<u32> = group.iter().map(|&c| c as u32).collect();
+        let session_seed =
+            self.config.seed.wrapping_mul(0xA24B_AED4_963E_E407) ^ ((t as u64) << 20) ^ k as u64;
+        let session = gfl_secagg::SecAggSession::new(members, dim, session_seed);
+        let mut survivors = Vec::with_capacity(group.len());
+        let mut masked = Vec::with_capacity(group.len());
+        let mut w_iter = weights.iter();
+        for (&c, p) in group.iter().zip(client_params.iter()) {
+            let Some(p) = p else { continue };
+            let w = *w_iter.next().expect("one weight per survivor");
+            let mut scaled = p.clone();
+            ops::scale(w, &mut scaled);
+            masked.push(session.mask(c as u32, &scaled).0);
+            survivors.push(c as u32);
+        }
+        let (sum, _) = session.unmask_sum(&survivors, &masked);
+        out.copy_from_slice(&sum);
+    }
+}
+
+/// Public view of a group's training outcome (for baseline runners).
+pub struct GroupOutcomePublic {
+    /// The trained group model `x^g_{t,K−1}`.
+    pub params: Params,
+    /// Group data volume `n_g`.
+    pub samples: usize,
+    /// Mean local loss observed.
+    pub train_loss: Scalar,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{CovGrouping, RandomGrouping};
+    use crate::local::FedAvg;
+    use gfl_data::{PartitionSpec, SyntheticSpec};
+
+    fn tiny_world(seed: u64) -> (Trainer, Vec<Group>) {
+        let data = SyntheticSpec::tiny().generate(600, seed);
+        let (train, test) = data.split_holdout(5);
+        let part = ClientPartition::dirichlet(&train, &PartitionSpec::tiny(0.5, seed));
+        let topo = Topology::even_split(2, part.sizes());
+        let groups = form_groups_per_edge(
+            &CovGrouping {
+                min_group_size: 2,
+                max_cov: 0.8,
+            },
+            &topo,
+            &part.label_matrix,
+            seed,
+        );
+        let model = gfl_nn::zoo::tiny(4, 3);
+        let trainer = Trainer::new(GroupFelConfig::tiny(), model, train, part, test);
+        (trainer, groups)
+    }
+
+    #[test]
+    fn run_produces_monotone_cost_history() {
+        let (trainer, groups) = tiny_world(1);
+        let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        assert!(!h.is_empty());
+        let costs: Vec<f64> = h.records().iter().map(|r| r.cost).collect();
+        for w in costs.windows(2) {
+            assert!(w[1] >= w[0], "cost must be nondecreasing: {costs:?}");
+        }
+        assert!(costs[0] > 0.0);
+    }
+
+    #[test]
+    fn training_improves_over_initial_model() {
+        let (trainer, groups) = tiny_world(2);
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.global_rounds = 12;
+        cfg.lr = LrSchedule::Constant(0.2);
+        let trainer = Trainer::new(
+            cfg,
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        );
+        let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        let first = h.records().first().unwrap().accuracy;
+        let best = h.best_accuracy();
+        assert!(
+            best > first + 0.1 || best > 0.8,
+            "no learning: first {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let (trainer, groups) = tiny_world(3);
+        let a = trainer.run(&groups, &FedAvg, SamplingStrategy::SRCov);
+        let b = trainer.run(&groups, &FedAvg, SamplingStrategy::SRCov);
+        assert_eq!(a.records().len(), b.records().len());
+        for (x, y) in a.records().iter().zip(b.records()) {
+            assert_eq!(x.accuracy, y.accuracy);
+            assert_eq!(x.cost, y.cost);
+        }
+    }
+
+    #[test]
+    fn secure_aggregation_matches_plain_aggregation() {
+        let (trainer, groups) = tiny_world(4);
+        let plain = trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
+        let mut cfg = trainer.config.clone();
+        cfg.secure_aggregation = true;
+        let secure_trainer = Trainer::new(
+            cfg,
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        );
+        let secure = secure_trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
+        // Same trajectory up to f32 mask-cancellation rounding.
+        for (p, s) in plain.records().iter().zip(secure.records()) {
+            assert!(
+                (p.accuracy - s.accuracy).abs() < 0.05,
+                "plain {} vs secure {}",
+                p.accuracy,
+                s.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn cost_budget_stops_training_early() {
+        let (trainer, groups) = tiny_world(5);
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.global_rounds = 50;
+        cfg.eval_every = 1;
+        cfg.cost_budget = Some(1000.0);
+        let trainer = Trainer::new(
+            cfg,
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        );
+        let h = trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
+        let last = h.records().last().unwrap();
+        assert!(last.round < 49, "budget should stop before round 50");
+    }
+
+    #[test]
+    fn form_groups_per_edge_respects_edge_boundaries() {
+        let data = SyntheticSpec::tiny().generate(400, 6);
+        let part = ClientPartition::dirichlet(&data, &PartitionSpec::tiny(0.5, 6));
+        let topo = Topology::even_split(3, part.sizes());
+        let groups = form_groups_per_edge(
+            &RandomGrouping { group_size: 3 },
+            &topo,
+            &part.label_matrix,
+            9,
+        );
+        // Every group's members must live on a single edge server.
+        for g in &groups {
+            let edges: std::collections::HashSet<usize> = g
+                .iter()
+                .map(|&c| (0..3).find(|&j| topo.clients_of(j).contains(&c)).unwrap())
+                .collect();
+            assert_eq!(edges.len(), 1, "group {g:?} spans edges {edges:?}");
+        }
+        // And the union of groups is all clients.
+        let total: usize = groups.iter().map(Group::len).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn sampled_groups_clamped_to_available() {
+        let (trainer, groups) = tiny_world(7);
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.sampled_groups = 500; // more than exist
+        let trainer = Trainer::new(
+            cfg,
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        );
+        let h = trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
+        assert!(!h.is_empty());
+    }
+}

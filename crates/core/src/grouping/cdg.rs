@@ -1,0 +1,208 @@
+//! Clustering-then-Distribution Grouping (CDG) — the assignment policy of
+//! OUEA [13], ported from client→edge assignment to group formation (§7.1:
+//! "we adopt their basic ideas and port them to group formation
+//! algorithms").
+//!
+//! Stage 1 clusters clients with *similar* label distributions (k-means on
+//! normalized histograms, k = number of labels). Stage 2 deals the members
+//! of each cluster round-robin across the groups, so every group receives a
+//! spread of cluster types and its combined distribution "tends to be IID".
+
+use gfl_data::LabelMatrix;
+use gfl_tensor::init::GflRng;
+use gfl_tensor::Scalar;
+use rand::Rng;
+
+use crate::Group;
+
+use super::GroupingAlgorithm;
+
+/// OUEA-style grouping.
+#[derive(Debug, Clone, Copy)]
+pub struct CdgGrouping {
+    /// Target group size (OUEA does not bound group size; the port derives
+    /// the group count as `ceil(n / group_size)` for fair comparison, as
+    /// the paper does when tuning "all grouping algorithms so that they
+    /// tend to generate similar group sizes").
+    pub group_size: usize,
+    /// Lloyd iterations for the clustering stage.
+    pub kmeans_iters: usize,
+}
+
+impl Default for CdgGrouping {
+    fn default() -> Self {
+        Self {
+            group_size: 6,
+            kmeans_iters: 10,
+        }
+    }
+}
+
+impl GroupingAlgorithm for CdgGrouping {
+    fn name(&self) -> &'static str {
+        "CDG"
+    }
+
+    fn form_groups(&self, labels: &LabelMatrix, rng: &mut GflRng) -> Vec<Group> {
+        assert!(self.group_size >= 1);
+        let n = labels.num_clients();
+        if n == 0 {
+            return Vec::new();
+        }
+        let num_groups = n.div_ceil(self.group_size).max(1);
+        let k = labels.num_labels().clamp(1, n);
+
+        // Stage 1: k-means over normalized label distributions.
+        let points: Vec<Vec<Scalar>> = (0..n).map(|i| labels.client_distribution(i)).collect();
+        let assignment = kmeans(&points, k, self.kmeans_iters, rng);
+
+        // Stage 2: deal each cluster's members across groups round-robin.
+        let mut clusters: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (client, &c) in assignment.iter().enumerate() {
+            clusters[c].push(client);
+        }
+        let mut groups: Vec<Group> = vec![Vec::new(); num_groups];
+        let mut cursor = 0usize;
+        for cluster in clusters {
+            for client in cluster {
+                groups[cursor % num_groups].push(client);
+                cursor += 1;
+            }
+        }
+        groups.retain(|g| !g.is_empty());
+        groups
+    }
+}
+
+/// Lloyd's k-means with random-point initialization. Returns per-point
+/// cluster indices in `0..k`.
+fn kmeans(points: &[Vec<Scalar>], k: usize, iters: usize, rng: &mut GflRng) -> Vec<usize> {
+    let n = points.len();
+    let dim = points[0].len();
+    let k = k.min(n);
+    // Initialize centroids from distinct random points.
+    let mut chosen: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        chosen.swap(i, j);
+    }
+    let mut centroids: Vec<Vec<Scalar>> = chosen[..k].iter().map(|&i| points[i].clone()).collect();
+    let mut assignment = vec![0usize; n];
+
+    for _ in 0..iters.max(1) {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0;
+            let mut best_d = Scalar::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0 as Scalar; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            gfl_tensor::ops::add_assign(p, &mut sums[c]);
+            counts[c] += 1;
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] > 0 {
+                centroids[c] = sum;
+                gfl_tensor::ops::scale(1.0 / counts[c] as Scalar, &mut centroids[c]);
+            }
+        }
+    }
+    assignment
+}
+
+fn sq_dist(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cov::mean_group_cov;
+    use crate::grouping::{test_support::skewed_matrix, validate_partition, RandomGrouping};
+    use gfl_tensor::init;
+
+    #[test]
+    fn partitions_everyone() {
+        let labels = skewed_matrix(37, 5, 1);
+        let groups = CdgGrouping {
+            group_size: 6,
+            kmeans_iters: 5,
+        }
+        .form_groups(&labels, &mut init::rng(2));
+        validate_partition(&groups, 37);
+    }
+
+    #[test]
+    fn group_sizes_are_near_target() {
+        let labels = skewed_matrix(36, 5, 3);
+        let groups = CdgGrouping {
+            group_size: 6,
+            kmeans_iters: 5,
+        }
+        .form_groups(&labels, &mut init::rng(4));
+        for g in &groups {
+            assert!((5..=8).contains(&g.len()), "size {}", g.len());
+        }
+    }
+
+    #[test]
+    fn improves_on_random_for_clusterable_population() {
+        // Pure-label clients cluster perfectly, so CDG's round-robin should
+        // mix labels well; compare mean CoV against random grouping.
+        let counts: Vec<Vec<u32>> = (0..50)
+            .map(|i| (0..5).map(|l| if l == i % 5 { 10 } else { 0 }).collect())
+            .collect();
+        let labels = gfl_data::LabelMatrix::new(counts, 5);
+        let cdg = CdgGrouping {
+            group_size: 5,
+            kmeans_iters: 20,
+        }
+        .form_groups(&labels, &mut init::rng(5));
+        let mut best_rand = f32::INFINITY;
+        for seed in 0..5 {
+            let rand_groups =
+                RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(seed));
+            best_rand = best_rand.min(mean_group_cov(&labels, &rand_groups));
+        }
+        let cdg_cov = mean_group_cov(&labels, &cdg);
+        assert!(
+            cdg_cov <= best_rand,
+            "CDG {cdg_cov} should beat best random {best_rand}"
+        );
+    }
+
+    #[test]
+    fn single_client() {
+        let labels = skewed_matrix(1, 3, 6);
+        let groups = CdgGrouping::default().form_groups(&labels, &mut init::rng(7));
+        assert_eq!(groups, vec![vec![0]]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let labels = gfl_data::LabelMatrix::new(vec![], 3);
+        let groups = CdgGrouping::default().form_groups(&labels, &mut init::rng(8));
+        assert!(groups.is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! Random grouping (RG) — the null baseline used by FedAvg, FedProx,
+//! SCAFFOLD, and (initially) FedCLAR in §7.3.1.
+
+use gfl_data::LabelMatrix;
+use gfl_tensor::init::GflRng;
+use rand::Rng;
+
+use crate::Group;
+
+use super::GroupingAlgorithm;
+
+/// Shuffles clients and cuts them into consecutive groups of `group_size`;
+/// the remainder is folded into the last group (never an undersized
+/// straggler group, matching how the paper fixes GS in Fig. 2(b)).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomGrouping {
+    /// Target group size.
+    pub group_size: usize,
+}
+
+impl GroupingAlgorithm for RandomGrouping {
+    fn name(&self) -> &'static str {
+        "RG"
+    }
+
+    fn form_groups(&self, labels: &LabelMatrix, rng: &mut GflRng) -> Vec<Group> {
+        assert!(self.group_size >= 1, "group size must be at least 1");
+        let n = labels.num_clients();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut groups: Vec<Group> = order
+            .chunks(self.group_size)
+            .map(<[usize]>::to_vec)
+            .collect();
+        // Fold an undersized tail into its predecessor.
+        if groups.len() >= 2 && groups.last().map_or(0, Group::len) < self.group_size {
+            let tail = groups.pop().unwrap();
+            groups.last_mut().unwrap().extend(tail);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::{test_support::skewed_matrix, validate_partition};
+    use gfl_tensor::init;
+
+    #[test]
+    fn partitions_everyone() {
+        let labels = skewed_matrix(23, 4, 1);
+        let groups = RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(2));
+        validate_partition(&groups, 23);
+    }
+
+    #[test]
+    fn group_sizes_are_target_or_merged_tail() {
+        let labels = skewed_matrix(23, 4, 3);
+        let groups = RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(4));
+        // 23 = 5+5+5+8
+        assert_eq!(groups.len(), 4);
+        let mut sizes: Vec<usize> = groups.iter().map(Group::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![5, 5, 5, 8]);
+    }
+
+    #[test]
+    fn exact_division_has_uniform_sizes() {
+        let labels = skewed_matrix(20, 4, 5);
+        let groups = RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(6));
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 5));
+    }
+
+    #[test]
+    fn fewer_clients_than_group_size() {
+        let labels = skewed_matrix(3, 4, 7);
+        let groups = RandomGrouping { group_size: 10 }.form_groups(&labels, &mut init::rng(8));
+        assert_eq!(groups.len(), 1);
+        validate_partition(&groups, 3);
+    }
+
+    #[test]
+    fn shuffling_depends_on_seed() {
+        let labels = skewed_matrix(30, 4, 9);
+        let a = RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(1));
+        let b = RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(2));
+        assert_ne!(a, b);
+    }
+}

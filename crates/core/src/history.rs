@@ -1,0 +1,143 @@
+//! Training-run telemetry: the accuracy-vs-round and accuracy-vs-cost
+//! trajectories that every figure in §7 plots.
+
+use gfl_tensor::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated point of a training run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Global round index `t` (0-based, recorded after the round).
+    pub round: usize,
+    /// Cumulative emulated cost (Eq. 5) at this point.
+    pub cost: f64,
+    /// Global-model test accuracy.
+    pub accuracy: Scalar,
+    /// Global-model test loss.
+    pub loss: Scalar,
+    /// Mean local training loss over this round's participants.
+    pub train_loss: Scalar,
+}
+
+/// The full trajectory of one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunHistory {
+    records: Vec<RoundRecord>,
+}
+
+impl RunHistory {
+    pub fn push(&mut self, r: RoundRecord) {
+        self.records.push(r);
+    }
+
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Final accuracy (0.0 for an empty history).
+    pub fn final_accuracy(&self) -> Scalar {
+        self.records.last().map_or(0.0, |r| r.accuracy)
+    }
+
+    /// Best accuracy seen.
+    pub fn best_accuracy(&self) -> Scalar {
+        self.records
+            .iter()
+            .map(|r| r.accuracy)
+            .fold(0.0, Scalar::max)
+    }
+
+    /// Highest accuracy achieved within a cost budget (Fig. 10/11's
+    /// "accuracy by certain learning costs" metric).
+    pub fn accuracy_within_cost(&self, budget: f64) -> Scalar {
+        self.records
+            .iter()
+            .filter(|r| r.cost <= budget)
+            .map(|r| r.accuracy)
+            .fold(0.0, Scalar::max)
+    }
+
+    /// Cost needed to first reach `target` accuracy; `None` if never
+    /// reached.
+    pub fn cost_to_accuracy(&self, target: Scalar) -> Option<f64> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.cost)
+    }
+
+    /// Rounds needed to first reach `target` accuracy.
+    pub fn rounds_to_accuracy(&self, target: Scalar) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.round)
+    }
+
+    /// CSV rows (`round,cost,accuracy,loss,train_loss`) with a header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("round,cost,accuracy,loss,train_loss\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.4},{:.6},{:.6},{:.6}\n",
+                r.round, r.cost, r.accuracy, r.loss, r.train_loss
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> RunHistory {
+        let mut h = RunHistory::default();
+        for (i, (cost, acc)) in [(10.0, 0.2), (20.0, 0.5), (30.0, 0.45), (40.0, 0.6)]
+            .iter()
+            .enumerate()
+        {
+            h.push(RoundRecord {
+                round: i,
+                cost: *cost,
+                accuracy: *acc,
+                loss: 1.0 - acc,
+                train_loss: 1.0,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn accessors() {
+        let h = hist();
+        assert_eq!(h.final_accuracy(), 0.6);
+        assert_eq!(h.best_accuracy(), 0.6);
+        assert_eq!(h.accuracy_within_cost(25.0), 0.5);
+        assert_eq!(h.accuracy_within_cost(5.0), 0.0);
+        assert_eq!(h.cost_to_accuracy(0.5), Some(20.0));
+        assert_eq!(h.cost_to_accuracy(0.99), None);
+        assert_eq!(h.rounds_to_accuracy(0.45), Some(1));
+    }
+
+    #[test]
+    fn empty_history_is_safe() {
+        let h = RunHistory::default();
+        assert_eq!(h.final_accuracy(), 0.0);
+        assert_eq!(h.best_accuracy(), 0.0);
+        assert!(h.cost_to_accuracy(0.1).is_none());
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = hist().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("round,cost"));
+        assert!(lines[1].starts_with("0,10.0000,0.2"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The convergence-analysis constants of §4 (Theorem 1) evaluated for
+//! concrete configurations.
+//!
+//! The theorem bounds the average squared gradient norm by three terms:
+//!
+//! ```text
+//! (f(x₀) − f*)/(λ₁ηTKE)  +  λ_s·Γ_p/|S_t| / (λ₁TKE)  +  γΓ(λ₂σ² + λ₃ζ² + λ₄ζ_g²)/(λ₁T)
+//! ```
+//!
+//! with γ (Eq. 11) and Γ (Eq. 12) the squared-CoV-style data-volume
+//! dispersion constants and `Γ_p ≥ Σ 1/p_g` (Eq. 12) the sampling-variance
+//! constant. This module computes each piece so experiments can *exhibit*
+//! the paper's three key observations (§4.3): the bound grows with ζ_g,
+//! grows with Γ_p, and the identity γ − 1 = CoV(n_i)² holds.
+
+use gfl_tensor::{stats, Scalar};
+use serde::{Deserialize, Serialize};
+
+/// γ of Eq. 11 for one group: `|g|²·[1/|g|² + Var(n_i/n_g)]`.
+///
+/// Returns 1.0 for empty/degenerate groups (the theoretical minimum,
+/// attained when every client holds the same amount of data).
+pub fn gamma(client_samples: &[usize]) -> f64 {
+    dispersion_constant(client_samples)
+}
+
+/// Γ of Eq. 12 across groups: `|G|²·[1/|G|² + Var(n_g/n)]`.
+pub fn big_gamma(group_samples: &[usize]) -> f64 {
+    dispersion_constant(group_samples)
+}
+
+/// Shared form of Eq. 11/12: `k²·[1/k² + Var(x_i/Σx)] = 1 + CoV(x)²`.
+fn dispersion_constant(samples: &[usize]) -> f64 {
+    let k = samples.len();
+    if k == 0 {
+        return 1.0;
+    }
+    let total: usize = samples.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let fracs: Vec<Scalar> = samples
+        .iter()
+        .map(|&s| s as Scalar / total as Scalar)
+        .collect();
+    let var = f64::from(stats::variance(&fracs));
+    let k = k as f64;
+    k * k * (1.0 / (k * k) + var)
+}
+
+/// `Γ_p = Σ_g 1/p_g` (Eq. 12) — the sampling-variance constant. Infinite
+/// if any probability is zero (such a group can never be corrected for).
+pub fn gamma_p(probs: &[Scalar]) -> f64 {
+    probs
+        .iter()
+        .map(|&p| {
+            if p <= 0.0 {
+                f64::INFINITY
+            } else {
+                1.0 / f64::from(p)
+            }
+        })
+        .sum()
+}
+
+/// Inputs to the Theorem 1 bound.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TheoremInputs {
+    /// Initial optimality gap `f(x₀) − E[f(x_T)]`.
+    pub initial_gap: f64,
+    /// Learning rate η.
+    pub eta: f64,
+    /// Global rounds T, group rounds K, local rounds E.
+    pub t: usize,
+    pub k: usize,
+    pub e: usize,
+    /// Smoothness constant L (Assumption 2).
+    pub l: f64,
+    /// Local gradient variance σ² (Assumption 1).
+    pub sigma_sq: f64,
+    /// Local heterogeneity ζ² (Assumption 3).
+    pub zeta_sq: f64,
+    /// Group heterogeneity ζ_g² (Assumption 4) — the quantity CoV-Grouping
+    /// exists to reduce.
+    pub zeta_g_sq: f64,
+    /// γ (Eq. 11), Γ (Eq. 12), Γ_p, |S_t|.
+    pub gamma: f64,
+    pub big_gamma: f64,
+    pub gamma_p: f64,
+    pub sampled: usize,
+    /// Mean group size |g| (enters λ_σ).
+    pub group_size: f64,
+}
+
+/// The three additive terms of the Theorem 1 RHS, kept separate so
+/// experiments can show which one each design lever moves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TheoremBound {
+    /// `(f(x₀) − f*) / (λ₁ηTKE)` — the optimization term.
+    pub optimization: f64,
+    /// `λ_s·Γ_p/|S_t| / (λ₁TKE)` — the sampling-variance term.
+    pub sampling: f64,
+    /// `γΓ(λ₂σ² + λ₃ζ² + λ₄ζ_g²) / (λ₁T)` — the heterogeneity term.
+    pub heterogeneity: f64,
+}
+
+impl TheoremBound {
+    pub fn total(&self) -> f64 {
+        self.optimization + self.sampling + self.heterogeneity
+    }
+}
+
+/// Evaluates the RHS of Eq. 10 with the λ-definitions of Eq. 13–17.
+///
+/// Returns `None` when the step-size conditions (Eq. 14, Eq. 18) are
+/// violated — i.e. the theorem does not apply to this configuration
+/// (η too large for the given K, E, L).
+pub fn theorem1_bound(inp: &TheoremInputs) -> Option<TheoremBound> {
+    let (eta, l) = (inp.eta, inp.l);
+    let (t, k, e) = (inp.t as f64, inp.k as f64, inp.e as f64);
+    let (gamma, big_gamma) = (inp.gamma, inp.big_gamma);
+
+    // Eq. 18: η² ≤ η/(2KE)  ⟺  η ≤ 1/(2KE).
+    if eta * eta > eta / (2.0 * k * e) {
+        return None;
+    }
+    // Eq. 16: λ_f = 30η²K²(1 + 90γη²E²L²)
+    let lambda_f = 30.0 * eta * eta * k * k * (1.0 + 90.0 * gamma * eta * eta * e * e * l * l);
+    // Eq. 14: λ₁ ≤ 1/2 − 3λ_f·η·γΓ·K·E·L²  must be positive.
+    let lambda1 = 0.5 - 3.0 * lambda_f * eta * gamma * big_gamma * k * e * l * l;
+    if lambda1 <= 0.0 {
+        return None;
+    }
+    // Eq. 17: λ_σ = 5Kη²E²[1 + ((1+6K)E + 9K)·10η²EL² + 18K/(|g|E)]
+    let g = inp.group_size.max(1.0);
+    let lambda_sigma = 5.0
+        * k
+        * eta
+        * eta
+        * e
+        * e
+        * (1.0
+            + ((1.0 + 6.0 * k) * e + 9.0 * k) * 10.0 * eta * eta * e * l * l
+            + 18.0 * k / (g * e));
+    // Eq. 15: λ₂ = 3λ_σγL² + 5η²E²L²;  λ₃ = 2700η⁴γK²E⁴L²
+    let lambda2 = 3.0 * lambda_sigma * gamma * l * l + 5.0 * eta * eta * e * e * l * l;
+    let lambda3 = 2700.0 * eta.powi(4) * gamma * k * k * e.powi(4) * l * l;
+    // Eq. 16: λ₄ = 90η²K²E²L²
+    let lambda4 = 90.0 * eta * eta * k * k * e * e * l * l;
+    // Eq. 13: λ_s = ηγΓK²(1 + 10η²E²L²σ²)
+    let lambda_s =
+        eta * gamma * big_gamma * k * k * (1.0 + 10.0 * eta * eta * e * e * l * l * inp.sigma_sq);
+
+    let optimization = inp.initial_gap / (lambda1 * eta * t * k * e);
+    let sampling = lambda_s * inp.gamma_p / inp.sampled.max(1) as f64 / (lambda1 * t * k * e);
+    let heterogeneity = gamma
+        * big_gamma
+        * (lambda2 * inp.sigma_sq + lambda3 * inp.zeta_sq + lambda4 * inp.zeta_g_sq)
+        / (lambda1 * t);
+    Some(TheoremBound {
+        optimization,
+        sampling,
+        heterogeneity,
+    })
+}
+
+impl TheoremInputs {
+    /// A baseline configuration in the theorem's validity region, used by
+    /// tests and the theory demo example.
+    pub fn reference() -> Self {
+        Self {
+            initial_gap: 2.0,
+            eta: 0.01,
+            t: 200,
+            k: 5,
+            e: 2,
+            l: 1.0,
+            sigma_sq: 1.0,
+            zeta_sq: 1.0,
+            zeta_g_sq: 0.5,
+            gamma: 1.2,
+            big_gamma: 1.3,
+            gamma_p: 120.0,
+            sampled: 12,
+            group_size: 6.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_is_one_for_equal_clients() {
+        assert!((gamma(&[50, 50, 50, 50]) - 1.0).abs() < 1e-9);
+        assert_eq!(gamma(&[]), 1.0);
+    }
+
+    #[test]
+    fn gamma_identity_with_cov_squared() {
+        // §4.3: γ − 1 = (σ_c/μ_c)² over client sample counts.
+        let samples = [10usize, 20, 30, 60];
+        let g = gamma(&samples);
+        let floats: Vec<f32> = samples.iter().map(|&s| s as f32).collect();
+        let cov = f64::from(stats::coefficient_of_variation(&floats));
+        assert!(
+            (g - 1.0 - cov * cov).abs() < 1e-6,
+            "γ−1={} CoV²={}",
+            g - 1.0,
+            cov * cov
+        );
+    }
+
+    #[test]
+    fn gamma_grows_with_imbalance() {
+        let balanced = gamma(&[25, 25, 25, 25]);
+        let skewed = gamma(&[1, 1, 1, 97]);
+        assert!(skewed > balanced + 1.0);
+    }
+
+    #[test]
+    fn gamma_p_prefers_uniform_sampling() {
+        let uniform = gamma_p(&[0.25; 4]);
+        let skewed = gamma_p(&[0.7, 0.1, 0.1, 0.1]);
+        assert!((uniform - 16.0).abs() < 1e-6);
+        assert!(skewed > uniform);
+        assert!(gamma_p(&[0.5, 0.0]).is_infinite());
+    }
+
+    #[test]
+    fn bound_increases_with_group_heterogeneity() {
+        // Key observation 1: larger ζ_g ⇒ slower convergence.
+        let mut a = TheoremInputs::reference();
+        let mut b = TheoremInputs::reference();
+        a.zeta_g_sq = 0.1;
+        b.zeta_g_sq = 2.0;
+        let ba = theorem1_bound(&a).unwrap();
+        let bb = theorem1_bound(&b).unwrap();
+        assert!(bb.total() > ba.total());
+        assert!(bb.heterogeneity > ba.heterogeneity);
+        assert_eq!(bb.optimization, ba.optimization);
+    }
+
+    #[test]
+    fn bound_increases_with_sampling_variance() {
+        // Key observation 2: larger Γ_p ⇒ slower convergence.
+        let mut a = TheoremInputs::reference();
+        let mut b = TheoremInputs::reference();
+        a.gamma_p = 60.0;
+        b.gamma_p = 600.0;
+        assert!(theorem1_bound(&b).unwrap().sampling > theorem1_bound(&a).unwrap().sampling);
+    }
+
+    #[test]
+    fn bound_decreases_with_more_rounds() {
+        let mut a = TheoremInputs::reference();
+        let mut b = TheoremInputs::reference();
+        a.t = 100;
+        b.t = 1000;
+        assert!(theorem1_bound(&b).unwrap().total() < theorem1_bound(&a).unwrap().total());
+    }
+
+    #[test]
+    fn bound_decreases_with_smaller_gamma() {
+        // Key observation 3: smaller γ helps.
+        let mut a = TheoremInputs::reference();
+        let mut b = TheoremInputs::reference();
+        a.gamma = 1.0;
+        b.gamma = 3.0;
+        assert!(theorem1_bound(&a).unwrap().total() < theorem1_bound(&b).unwrap().total());
+    }
+
+    #[test]
+    fn oversized_learning_rate_invalidates_theorem() {
+        let mut inp = TheoremInputs::reference();
+        inp.eta = 1.0; // violates η ≤ 1/(2KE) = 0.05
+        assert!(theorem1_bound(&inp).is_none());
+    }
+
+    #[test]
+    fn bound_terms_are_positive_in_validity_region() {
+        let b = theorem1_bound(&TheoremInputs::reference()).unwrap();
+        assert!(b.optimization > 0.0 && b.sampling > 0.0 && b.heterogeneity > 0.0);
+        assert!(b.total().is_finite());
+    }
+}

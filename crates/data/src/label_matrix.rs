@@ -1,0 +1,177 @@
+//! The label matrix `L` of §5.1: `L[i][j]` = number of samples of label `j`
+//! held by client `i`.
+//!
+//! This is the *only* information the paper's grouping algorithms may use —
+//! "to compute the CoV of a group, we only need to know the data label
+//! distributions from users in that group, without any information of their
+//! local data, model, nor gradient" (§5.1). Keeping it a standalone type
+//! enforces that boundary in the code: grouping code depends on
+//! `LabelMatrix`, never on `Dataset`.
+
+use gfl_tensor::Scalar;
+use serde::{Deserialize, Serialize};
+
+/// Per-client label histograms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelMatrix {
+    /// `counts[i][j]`: samples of label `j` on client `i`.
+    counts: Vec<Vec<u32>>,
+    num_labels: usize,
+}
+
+impl LabelMatrix {
+    /// Builds from explicit per-client histograms.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent widths.
+    pub fn new(counts: Vec<Vec<u32>>, num_labels: usize) -> Self {
+        for (i, row) in counts.iter().enumerate() {
+            assert_eq!(row.len(), num_labels, "client {i} histogram width");
+        }
+        Self { counts, num_labels }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of label categories `m`.
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Histogram of one client.
+    pub fn client(&self, i: usize) -> &[u32] {
+        &self.counts[i]
+    }
+
+    /// Total samples held by client `i` (the paper's `n_i`).
+    pub fn client_total(&self, i: usize) -> u64 {
+        self.counts[i].iter().map(|&c| c as u64).sum()
+    }
+
+    /// Total samples across all clients (the paper's `n`).
+    pub fn total(&self) -> u64 {
+        (0..self.num_clients()).map(|i| self.client_total(i)).sum()
+    }
+
+    /// Combined histogram of a set of clients (a group's label distribution).
+    pub fn group_histogram(&self, members: &[usize]) -> Vec<u64> {
+        let mut hist = vec![0u64; self.num_labels];
+        for &i in members {
+            for (h, &c) in hist.iter_mut().zip(self.counts[i].iter()) {
+                *h += c as u64;
+            }
+        }
+        hist
+    }
+
+    /// Adds client `i`'s histogram into an existing accumulator; the greedy
+    /// CoV-Grouping inner loop uses this to avoid recomputing group
+    /// histograms from scratch for every candidate.
+    pub fn add_client_into(&self, i: usize, hist: &mut [u64]) {
+        assert_eq!(hist.len(), self.num_labels);
+        for (h, &c) in hist.iter_mut().zip(self.counts[i].iter()) {
+            *h += c as u64;
+        }
+    }
+
+    /// Removes client `i`'s histogram from an accumulator.
+    pub fn remove_client_from(&self, i: usize, hist: &mut [u64]) {
+        assert_eq!(hist.len(), self.num_labels);
+        for (h, &c) in hist.iter_mut().zip(self.counts[i].iter()) {
+            *h -= c as u64;
+        }
+    }
+
+    /// The global label distribution as probabilities.
+    pub fn global_distribution(&self) -> Vec<Scalar> {
+        let members: Vec<usize> = (0..self.num_clients()).collect();
+        let hist = self.group_histogram(&members);
+        let floats: Vec<Scalar> = hist.iter().map(|&h| h as Scalar).collect();
+        gfl_tensor::stats::normalize(&floats)
+    }
+
+    /// Client `i`'s label distribution as probabilities.
+    pub fn client_distribution(&self, i: usize) -> Vec<Scalar> {
+        let floats: Vec<Scalar> = self.counts[i].iter().map(|&h| h as Scalar).collect();
+        gfl_tensor::stats::normalize(&floats)
+    }
+
+    /// Restricts the matrix to a subset of clients, renumbering them
+    /// `0..members.len()` (used to scope grouping to one edge server).
+    pub fn restrict(&self, members: &[usize]) -> LabelMatrix {
+        LabelMatrix::new(
+            members.iter().map(|&i| self.counts[i].clone()).collect(),
+            self.num_labels,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> LabelMatrix {
+        LabelMatrix::new(
+            vec![
+                vec![10, 0, 0],
+                vec![0, 10, 0],
+                vec![0, 0, 10],
+                vec![3, 3, 4],
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let m = toy();
+        assert_eq!(m.client_total(0), 10);
+        assert_eq!(m.client_total(3), 10);
+        assert_eq!(m.total(), 40);
+    }
+
+    #[test]
+    fn group_histogram_merges() {
+        let m = toy();
+        assert_eq!(m.group_histogram(&[0, 1]), vec![10, 10, 0]);
+        assert_eq!(m.group_histogram(&[0, 1, 2]), vec![10, 10, 10]);
+        assert_eq!(m.group_histogram(&[]), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn incremental_add_remove_roundtrip() {
+        let m = toy();
+        let mut hist = m.group_histogram(&[0, 3]);
+        m.add_client_into(1, &mut hist);
+        assert_eq!(hist, m.group_histogram(&[0, 1, 3]));
+        m.remove_client_from(0, &mut hist);
+        assert_eq!(hist, m.group_histogram(&[1, 3]));
+    }
+
+    #[test]
+    fn global_distribution_is_uniform_for_balanced_matrix() {
+        let m = toy();
+        let g = m.global_distribution();
+        // 13,13,14 over 40
+        assert!((g[0] - 13.0 / 40.0).abs() < 1e-6);
+        assert!((g.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn restrict_renumbers() {
+        let m = toy();
+        let r = m.restrict(&[2, 3]);
+        assert_eq!(r.num_clients(), 2);
+        assert_eq!(r.client(0), &[0, 0, 10]);
+        assert_eq!(r.client(1), &[3, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram width")]
+    fn inconsistent_widths_panic() {
+        LabelMatrix::new(vec![vec![1, 2], vec![1]], 2);
+    }
+}

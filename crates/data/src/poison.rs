@@ -1,0 +1,128 @@
+//! Data-level attack injection for the backdoor/defense extension
+//! experiments: label flipping and trigger-pattern backdoors.
+//!
+//! The paper's group pipeline pays for backdoor detection every group
+//! round (Fig. 2a); these injectors create the adversarial clients that
+//! make the defense observable end to end.
+
+use gfl_tensor::init::GflRng;
+use gfl_tensor::{Matrix, Scalar};
+use rand::Rng;
+
+use crate::Dataset;
+
+/// Flips every sample of `from` to label `to` on the given dataset rows.
+/// Returns how many labels were flipped.
+pub fn label_flip(labels: &mut [usize], rows: &[usize], from: usize, to: usize) -> usize {
+    let mut flipped = 0;
+    for &r in rows {
+        if labels[r] == from {
+            labels[r] = to;
+            flipped += 1;
+        }
+    }
+    flipped
+}
+
+/// A pixel/feature-space backdoor trigger: fixed offsets added to a fixed
+/// subset of coordinates, with all triggered samples relabelled to the
+/// attacker's target class.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    /// (coordinate, additive value) pairs.
+    pub pattern: Vec<(usize, Scalar)>,
+    /// The label every triggered sample is forced to.
+    pub target_label: usize,
+}
+
+impl Trigger {
+    /// A simple deterministic trigger touching `width` coordinates.
+    pub fn corner(width: usize, target_label: usize) -> Self {
+        Self {
+            pattern: (0..width).map(|i| (i, 2.5)).collect(),
+            target_label,
+        }
+    }
+
+    /// Applies the trigger to the given rows of a feature matrix + labels.
+    pub fn apply(&self, features: &mut Matrix, labels: &mut [usize], rows: &[usize]) {
+        for &r in rows {
+            let row = features.row_mut(r);
+            for &(c, v) in &self.pattern {
+                assert!(c < row.len(), "trigger coordinate out of range");
+                row[c] += v;
+            }
+            labels[r] = self.target_label;
+        }
+    }
+
+    /// Builds the *attack-success* evaluation set: clean samples from
+    /// `dataset` (excluding the target class), triggered. A backdoored
+    /// model classifies these as `target_label`; a clean model does not.
+    pub fn attack_eval_set(&self, dataset: &Dataset, n: usize, rng: &mut GflRng) -> Dataset {
+        let candidates: Vec<usize> = (0..dataset.len())
+            .filter(|&i| dataset.labels()[i] != self.target_label)
+            .collect();
+        assert!(!candidates.is_empty(), "no non-target samples");
+        let picks: Vec<usize> = (0..n)
+            .map(|_| candidates[rng.gen_range(0..candidates.len())])
+            .collect();
+        let batch = dataset.batch(&picks);
+        let mut features = batch.features;
+        let mut labels = batch.labels;
+        let rows: Vec<usize> = (0..labels.len()).collect();
+        self.apply(&mut features, &mut labels, &rows);
+        Dataset::new(features, labels, dataset.num_classes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticSpec;
+    use gfl_tensor::init;
+
+    #[test]
+    fn label_flip_only_touches_matching_rows() {
+        let mut labels = vec![0, 1, 0, 2, 0];
+        let flipped = label_flip(&mut labels, &[0, 1, 2], 0, 2);
+        assert_eq!(flipped, 2);
+        assert_eq!(labels, vec![2, 1, 2, 2, 0]);
+    }
+
+    #[test]
+    fn trigger_changes_features_and_labels() {
+        let d = SyntheticSpec::tiny().generate(20, 1);
+        let mut features = d.features().clone();
+        let mut labels = d.labels().to_vec();
+        let before = features.row(3).to_vec();
+        let trig = Trigger::corner(2, 1);
+        trig.apply(&mut features, &mut labels, &[3]);
+        assert_eq!(labels[3], 1);
+        assert!((features.get(3, 0) - before[0] - 2.5).abs() < 1e-6);
+        assert!((features.get(3, 1) - before[1] - 2.5).abs() < 1e-6);
+        assert_eq!(features.get(3, 2), before[2]);
+    }
+
+    #[test]
+    fn attack_eval_set_is_all_target_labeled_and_triggered() {
+        let d = SyntheticSpec::tiny().generate(100, 2);
+        let trig = Trigger::corner(2, 0);
+        let eval = trig.attack_eval_set(&d, 30, &mut init::rng(3));
+        assert_eq!(eval.len(), 30);
+        assert!(eval.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_trigger_panics() {
+        let d = SyntheticSpec::tiny().generate(5, 4);
+        let mut features = d.features().clone();
+        let mut labels = d.labels().to_vec();
+        Trigger {
+            pattern: vec![(999, 1.0)],
+            target_label: 0,
+        }
+        .apply(&mut features, &mut labels, &[0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Seeded synthetic classification datasets.
+//!
+//! Each class `c` gets a mean vector drawn once from a seeded RNG and scaled
+//! to a separation radius; samples are `mean_c + N(0, noise²)`. With
+//! `separation / noise` around 1.0–1.5 the task is learnable but not
+//! trivial, so federated training exhibits the gradual accuracy curves the
+//! paper's figures show rather than saturating in two rounds.
+
+use gfl_tensor::init::{self, GflRng};
+use gfl_tensor::{Matrix, Scalar};
+use rand::Rng;
+
+use crate::Dataset;
+
+/// Specification of a synthetic class-conditional Gaussian dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Number of label categories (paper: 10 for CIFAR-10, 35 for SC).
+    pub num_classes: usize,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Radius of the class-mean constellation.
+    pub separation: Scalar,
+    /// Per-coordinate sample noise.
+    pub noise: Scalar,
+}
+
+impl SyntheticSpec {
+    /// CIFAR-10 stand-in: 10 classes, 64-dim features. The
+    /// separation/noise ratio is tuned so a trained model tops out around
+    /// 0.7–0.8 accuracy with a gradual approach — matching the dynamic
+    /// range of the paper's CIFAR-10 curves (0.25 → 0.65), which is what
+    /// lets methods differentiate. Plays the "relatively heavy load task"
+    /// role.
+    pub fn vision_like() -> Self {
+        Self {
+            num_classes: 10,
+            feature_dim: 64,
+            separation: 2.0,
+            noise: 0.9,
+        }
+    }
+
+    /// Speech-Commands stand-in: 35 classes, 40-dim features. Plays the
+    /// paper's "lightweight task" role; more classes makes extreme Dirichlet
+    /// skew (α=0.01) possible exactly as in §7.3.2.
+    pub fn speech_like() -> Self {
+        Self {
+            num_classes: 35,
+            feature_dim: 40,
+            separation: 1.2,
+            noise: 0.9,
+        }
+    }
+
+    /// Tiny spec for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            num_classes: 3,
+            feature_dim: 4,
+            separation: 2.0,
+            noise: 0.3,
+        }
+    }
+
+    /// Generates `n` samples with labels drawn from `label_weights`
+    /// (uniform when `None`). Deterministic in `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        self.generate_weighted(n, None, seed)
+    }
+
+    /// Generates `n` samples whose labels follow `label_weights`.
+    pub fn generate_weighted(&self, n: usize, label_weights: Option<&[f64]>, seed: u64) -> Dataset {
+        assert!(self.num_classes > 0 && self.feature_dim > 0);
+        if let Some(w) = label_weights {
+            assert_eq!(w.len(), self.num_classes, "weight arity mismatch");
+        }
+        let mut rng = init::rng(seed);
+        let means = self.class_means(&mut rng);
+        let mut features = Matrix::zeros(n, self.feature_dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = match label_weights {
+                None => rng.gen_range(0..self.num_classes),
+                Some(w) => sample_categorical(&mut rng, w),
+            };
+            labels.push(label);
+            let row = features.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = means.get(label, j) + init::normal(&mut rng, 0.0, self.noise);
+            }
+        }
+        Dataset::new(features, labels, self.num_classes)
+    }
+
+    /// The class-mean constellation, deterministic in the RNG state.
+    ///
+    /// Means are sampled i.i.d. Gaussian then scaled to the separation
+    /// radius, which keeps pairwise distances concentrated for moderate
+    /// dimensions (Johnson–Lindenstrauss regime).
+    fn class_means(&self, rng: &mut GflRng) -> Matrix {
+        let mut means = Matrix::zeros(self.num_classes, self.feature_dim);
+        for c in 0..self.num_classes {
+            let row = means.row_mut(c);
+            init::fill_normal(rng, 1.0, row);
+            let norm = gfl_tensor::ops::norm(row);
+            if norm > 0.0 {
+                gfl_tensor::ops::scale(self.separation / norm, row);
+            }
+        }
+        means
+    }
+}
+
+/// Samples an index proportional to non-negative weights.
+fn sample_categorical(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..weights.len());
+    }
+    let mut t = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        t -= w;
+        if t <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SyntheticSpec::tiny();
+        let a = spec.generate(50, 9);
+        let b = spec.generate(50, 9);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = SyntheticSpec::tiny();
+        let a = spec.generate(50, 1);
+        let b = spec.generate(50, 2);
+        assert_ne!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn uniform_labels_cover_all_classes() {
+        let d = SyntheticSpec::tiny().generate(300, 3);
+        let hist = d.label_histogram();
+        assert!(hist.iter().all(|&c| c > 50), "hist {hist:?}");
+    }
+
+    #[test]
+    fn weighted_labels_respect_weights() {
+        let spec = SyntheticSpec::tiny();
+        let d = spec.generate_weighted(500, Some(&[1.0, 0.0, 0.0]), 4);
+        assert!(d.labels().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn classes_are_separable_by_nearest_mean() {
+        // A sanity check that the task is learnable: classify each sample by
+        // the nearest class centroid estimated from the data itself.
+        let spec = SyntheticSpec {
+            num_classes: 4,
+            feature_dim: 16,
+            separation: 2.0,
+            noise: 0.5,
+        };
+        let d = spec.generate(400, 5);
+        let mut centroids = vec![vec![0.0f32; 16]; 4];
+        let mut counts = vec![0usize; 4];
+        for i in 0..d.len() {
+            let l = d.labels()[i];
+            gfl_tensor::ops::add_assign(d.features().row(i), &mut centroids[l]);
+            counts[l] += 1;
+        }
+        for (c, n) in centroids.iter_mut().zip(&counts) {
+            gfl_tensor::ops::scale(1.0 / (*n).max(1) as f32, c);
+        }
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let x = d.features().row(i);
+            let mut best = 0;
+            let mut best_d = f32::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let dist: f32 = x
+                    .iter()
+                    .zip(centroid.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            correct += usize::from(best == d.labels()[i]);
+        }
+        let acc = correct as f32 / d.len() as f32;
+        assert!(acc > 0.8, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn presets_have_paper_cardinalities() {
+        assert_eq!(SyntheticSpec::vision_like().num_classes, 10);
+        assert_eq!(SyntheticSpec::speech_like().num_classes, 35);
+    }
+}

@@ -1,0 +1,201 @@
+//! Robust aggregation rules — the classic alternatives to filtering that a
+//! group aggregator can run instead of (or after) backdoor detection.
+//!
+//! The paper's cost model charges one "backdoor detection" per group round
+//! but is agnostic about which defense runs; these rules let the simulator
+//! explore the defense design space:
+//!
+//! * [`coordinate_median`] — per-coordinate median; breakdown point 1/2.
+//! * [`trimmed_mean`] — per-coordinate mean after dropping the `b` largest
+//!   and smallest values; the standard Byzantine-robust estimator.
+//! * [`krum`] — selects the update closest to its `n − f − 2` nearest
+//!   neighbours (Blanchard et al., NeurIPS'17); `multi_krum` averages the
+//!   top `m` selections.
+//!
+//! All rules take plain `&[Vec<f32>]` updates, matching the flat-parameter
+//! convention of the rest of the stack.
+
+use gfl_tensor::Scalar;
+
+/// Per-coordinate median of the updates.
+///
+/// # Panics
+/// Panics on empty input or ragged dimensions.
+pub fn coordinate_median(updates: &[Vec<Scalar>]) -> Vec<Scalar> {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    let dim = updates[0].len();
+    let mut out = vec![0.0; dim];
+    let mut column = vec![0.0; updates.len()];
+    for (j, o) in out.iter_mut().enumerate() {
+        for (c, u) in column.iter_mut().zip(updates.iter()) {
+            assert_eq!(u.len(), dim, "ragged updates");
+            *c = u[j];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mid = column.len() / 2;
+        *o = if column.len() % 2 == 1 {
+            column[mid]
+        } else {
+            0.5 * (column[mid - 1] + column[mid])
+        };
+    }
+    out
+}
+
+/// Per-coordinate mean after trimming the `trim` smallest and `trim`
+/// largest values.
+///
+/// # Panics
+/// Panics unless `2·trim < updates.len()`.
+pub fn trimmed_mean(updates: &[Vec<Scalar>], trim: usize) -> Vec<Scalar> {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    assert!(
+        2 * trim < updates.len(),
+        "trim {trim} too large for {} updates",
+        updates.len()
+    );
+    let dim = updates[0].len();
+    let keep = updates.len() - 2 * trim;
+    let mut out = vec![0.0; dim];
+    let mut column = vec![0.0; updates.len()];
+    for (j, o) in out.iter_mut().enumerate() {
+        for (c, u) in column.iter_mut().zip(updates.iter()) {
+            assert_eq!(u.len(), dim, "ragged updates");
+            *c = u[j];
+        }
+        column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        *o = column[trim..updates.len() - trim].iter().sum::<Scalar>() / keep as Scalar;
+    }
+    out
+}
+
+/// Krum score of every update: sum of its `n − f − 2` smallest squared
+/// distances to other updates.
+fn krum_scores(updates: &[Vec<Scalar>], byzantine: usize) -> Vec<Scalar> {
+    let n = updates.len();
+    let closest = n.saturating_sub(byzantine + 2).max(1);
+    let mut scores = Vec::with_capacity(n);
+    let mut dists = vec![0.0; n];
+    for (i, ui) in updates.iter().enumerate() {
+        for (j, uj) in updates.iter().enumerate() {
+            dists[j] = if i == j {
+                Scalar::INFINITY
+            } else {
+                ui.iter()
+                    .zip(uj.iter())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum()
+            };
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        scores.push(dists[..closest].iter().sum());
+    }
+    scores
+}
+
+/// Krum: index of the update with the smallest score, tolerating up to
+/// `byzantine` malicious updates.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn krum(updates: &[Vec<Scalar>], byzantine: usize) -> usize {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    let scores = krum_scores(updates, byzantine);
+    scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap()
+}
+
+/// Multi-Krum: averages the `m` best-scored updates.
+pub fn multi_krum(updates: &[Vec<Scalar>], byzantine: usize, m: usize) -> Vec<Scalar> {
+    assert!(!updates.is_empty(), "no updates to aggregate");
+    let m = m.clamp(1, updates.len());
+    let scores = krum_scores(updates, byzantine);
+    let mut order: Vec<usize> = (0..updates.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    let dim = updates[0].len();
+    let mut out = vec![0.0; dim];
+    for &i in &order[..m] {
+        gfl_tensor::ops::add_assign(&updates[i], &mut out);
+    }
+    gfl_tensor::ops::scale(1.0 / m as Scalar, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_outlier() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 1.0],
+            vec![1.1, 0.9],
+            vec![0.9, 1.1],
+            vec![1.05, 0.95],
+            vec![100.0, -100.0], // attacker
+        ]
+    }
+
+    #[test]
+    fn median_ignores_the_outlier() {
+        let m = coordinate_median(&with_outlier());
+        assert!((m[0] - 1.05).abs() < 1e-6);
+        assert!((m[1] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_even_count_averages_middle_pair() {
+        let m = coordinate_median(&[vec![1.0], vec![3.0], vec![2.0], vec![4.0]]);
+        assert!((m[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trimmed_mean_removes_extremes() {
+        let t = trimmed_mean(&with_outlier(), 1);
+        // drops 100 and the smallest; stays near 1.0
+        assert!((t[0] - 1.05).abs() < 0.1, "{t:?}");
+        assert!((t[1] - 0.95).abs() < 0.1, "{t:?}");
+    }
+
+    #[test]
+    fn trimmed_mean_zero_trim_is_plain_mean() {
+        let ups = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let t = trimmed_mean(&ups, 0);
+        assert_eq!(t, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "trim 2 too large")]
+    fn over_trim_panics() {
+        trimmed_mean(&[vec![1.0], vec![2.0], vec![3.0]], 2);
+    }
+
+    #[test]
+    fn krum_picks_a_central_honest_update() {
+        let picked = krum(&with_outlier(), 1);
+        assert!(picked < 4, "krum must not pick the attacker, got {picked}");
+    }
+
+    #[test]
+    fn multi_krum_average_is_near_honest_mean() {
+        let agg = multi_krum(&with_outlier(), 1, 3);
+        assert!((agg[0] - 1.0).abs() < 0.15, "{agg:?}");
+        assert!((agg[1] - 1.0).abs() < 0.15, "{agg:?}");
+    }
+
+    #[test]
+    fn krum_single_update_is_trivial() {
+        assert_eq!(krum(&[vec![5.0]], 0), 0);
+    }
+
+    #[test]
+    fn robust_rules_match_mean_on_clean_identical_updates() {
+        let ups = vec![vec![2.0, -1.0]; 6];
+        assert_eq!(coordinate_median(&ups), vec![2.0, -1.0]);
+        assert_eq!(trimmed_mean(&ups, 1), vec![2.0, -1.0]);
+        assert_eq!(multi_krum(&ups, 1, 3), vec![2.0, -1.0]);
+    }
+}

@@ -1,0 +1,10 @@
+//! Host package for the runnable examples in the repository-root
+//! `examples/` directory. Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! cargo run --release --example edge_deployment
+//! cargo run --release --example secure_pipeline
+//! cargo run --release --example custom_grouping
+//! cargo run --release --example theory_explorer
+//! ```

@@ -1,0 +1,58 @@
+//! Fig. 10 — accuracy vs *cost*, all seven methods, CIFAR-like task.
+//!
+//! The paper's headline comparison: measured against total learning cost
+//! (Eq. 5), Group-FEL's advantage widens beyond Fig. 9's per-round view,
+//! because FedProx/SCAFFOLD pay more per round and OUEA/SHARE form costly
+//! oversized groups.
+
+use gfl_experiments::emit::{f, print_series, to_csv, write_csv};
+use gfl_experiments::methods::{run_method, GroupingKnobs, Method};
+use gfl_experiments::world::{ExpScale, World};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let world = World::vision(0.1, 42, scale);
+    let knobs = GroupingKnobs::default();
+
+    let header = ["method", "cost", "accuracy"];
+    let mut rows = Vec::new();
+    let mut at_budget = Vec::new();
+    for method in Method::ALL {
+        let history = run_method(method, &world, knobs);
+        for r in history.records() {
+            rows.push(vec![
+                method.name().to_string(),
+                f(r.cost, 1),
+                f(f64::from(r.accuracy), 4),
+            ]);
+        }
+        let acc = history.accuracy_within_cost(scale.budget);
+        println!(
+            "{:10} accuracy within budget {:.0}: {acc:.4}",
+            method.name(),
+            scale.budget
+        );
+        at_budget.push((method, acc));
+    }
+
+    print_series("Fig 10: accuracy vs cost (CIFAR-like)", &header, &rows);
+    let path = write_csv("fig10", &to_csv(&header, &rows));
+    println!("\nwrote {}", path.display());
+
+    let groupfel = at_budget
+        .iter()
+        .find(|(m, _)| *m == Method::GroupFel)
+        .unwrap()
+        .1;
+    let best_baseline = at_budget
+        .iter()
+        .filter(|(m, _)| *m != Method::GroupFel)
+        .map(|&(_, a)| a)
+        .fold(0.0f32, f32::max);
+    println!("\nGroup-FEL {groupfel:.4} vs best baseline {best_baseline:.4} at equal cost");
+    assert!(
+        groupfel >= best_baseline,
+        "Group-FEL must win the accuracy-per-cost comparison"
+    );
+    println!("shape check passed: Group-FEL dominates at equal cost");
+}

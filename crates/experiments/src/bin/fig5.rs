@@ -1,0 +1,97 @@
+//! Fig. 5 — running time of the four grouping algorithms as the client
+//! population grows (200 → 1000 clients).
+//!
+//! Expected shape (§5.4): RG ≈ free, CDG cheap, CoVG a few seconds at
+//! 1000 clients, KLDG clearly slowest (its greedy loop recomputes a full
+//! `ln()`-heavy KL per candidate, with no incremental shortcut).
+
+use std::time::Instant;
+
+use gfl_core::grouping::{
+    CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
+};
+use gfl_data::LabelMatrix;
+use gfl_experiments::emit::{f, print_series, to_csv, write_csv};
+use gfl_tensor::init;
+use rand::Rng;
+
+/// Synthetic skewed label matrix, 10 labels (CIFAR-like cardinality).
+fn label_matrix(clients: usize, seed: u64) -> LabelMatrix {
+    let mut rng = init::rng(seed);
+    let labels = 10;
+    let counts = (0..clients)
+        .map(|_| {
+            let hot = rng.gen_range(0..labels);
+            (0..labels)
+                .map(|l| {
+                    if l == hot {
+                        rng.gen_range(30..120)
+                    } else if rng.gen_bool(0.25) {
+                        rng.gen_range(0..15)
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    LabelMatrix::new(counts, labels)
+}
+
+fn time_algo(algo: &dyn GroupingAlgorithm, labels: &LabelMatrix, seed: u64) -> f64 {
+    let mut rng = init::rng(seed);
+    let start = Instant::now();
+    let groups = algo.form_groups(labels, &mut rng);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(!groups.is_empty());
+    secs
+}
+
+fn main() {
+    let sizes = [200usize, 400, 600, 800, 1000];
+    let header = ["clients", "RG_s", "CDG_s", "KLDG_s", "CoVG_s"];
+    let mut rows = Vec::new();
+    let mut last: Option<(f64, f64, f64, f64)> = None;
+    for &n in &sizes {
+        let labels = label_matrix(n, 42 + n as u64);
+        let rg = time_algo(&RandomGrouping { group_size: 6 }, &labels, 1);
+        let cdg = time_algo(
+            &CdgGrouping {
+                group_size: 6,
+                kmeans_iters: 10,
+            },
+            &labels,
+            1,
+        );
+        let kldg = time_algo(&KldGrouping { group_size: 6 }, &labels, 1);
+        let covg = time_algo(
+            &CovGrouping {
+                min_group_size: 5,
+                max_cov: 0.3,
+            },
+            &labels,
+            1,
+        );
+        rows.push(vec![
+            n.to_string(),
+            f(rg, 4),
+            f(cdg, 4),
+            f(kldg, 4),
+            f(covg, 4),
+        ]);
+        last = Some((rg, cdg, kldg, covg));
+    }
+    print_series("Fig 5: grouping runtime (seconds)", &header, &rows);
+    let path = write_csv("fig5", &to_csv(&header, &rows));
+    println!("\nwrote {}", path.display());
+
+    let (rg, cdg, kldg, covg) = last.unwrap();
+    assert!(rg <= covg, "RG must be the cheapest");
+    assert!(
+        kldg >= covg,
+        "KLDG must be slower than CoVG at 1000 clients"
+    );
+    println!(
+        "shape checks passed at 1000 clients: RG {rg:.4}s <= CoVG {covg:.4}s <= KLDG {kldg:.4}s (CDG {cdg:.4}s)"
+    );
+}

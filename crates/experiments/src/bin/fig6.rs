@@ -1,0 +1,132 @@
+//! Fig. 6 — grouping quality frontier: average group CoV vs average
+//! per-client group overhead, for each grouping algorithm across its knob
+//! sweep.
+//!
+//! Expected shape: at equal overhead CoVG delivers the lowest CoV (its
+//! frontier dominates); random grouping is the worst at every size.
+
+use gfl_core::cov::mean_group_cov;
+use gfl_core::grouping::{
+    CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
+};
+use gfl_core::Group;
+use gfl_data::LabelMatrix;
+use gfl_experiments::emit::{f, print_series, to_csv, write_csv};
+use gfl_sim::{CostModel, GroupOpKind, Task};
+use gfl_tensor::init;
+use rand::Rng;
+
+fn label_matrix(clients: usize, seed: u64) -> LabelMatrix {
+    let mut rng = init::rng(seed);
+    let labels = 10;
+    let counts = (0..clients)
+        .map(|_| {
+            let hot = rng.gen_range(0..labels);
+            (0..labels)
+                .map(|l| {
+                    if l == hot {
+                        rng.gen_range(30..100)
+                    } else if rng.gen_bool(0.3) {
+                        rng.gen_range(0..10)
+                    } else {
+                        0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    LabelMatrix::new(counts, labels)
+}
+
+/// Average per-client group-operation overhead across groups (normalized to
+/// the 50-client group cost, matching Fig. 6's 0–1 y-axis).
+fn avg_overhead(groups: &[Group], model: &CostModel) -> f64 {
+    let max = model.group_op(GroupOpKind::SecureAggregation, 50);
+    let per: f64 = groups
+        .iter()
+        .map(|g| model.group_op(GroupOpKind::SecureAggregation, g.len()))
+        .sum::<f64>()
+        / groups.len().max(1) as f64;
+    per / max
+}
+
+fn main() {
+    let labels = label_matrix(300, 9);
+    let model = CostModel::for_task(Task::Vision);
+    let header = ["algo", "knob", "avg_cov", "avg_overhead"];
+    let mut rows = Vec::new();
+
+    // Sweep each algorithm's size knob to trace its frontier.
+    for size in [4usize, 6, 8, 12, 16, 24] {
+        let algos: Vec<(String, Box<dyn GroupingAlgorithm>)> = vec![
+            (
+                format!("RG(gs={size})"),
+                Box::new(RandomGrouping { group_size: size }),
+            ),
+            (
+                format!("CDG(gs={size})"),
+                Box::new(CdgGrouping {
+                    group_size: size,
+                    kmeans_iters: 10,
+                }),
+            ),
+            (
+                format!("KLDG(gs={size})"),
+                Box::new(KldGrouping { group_size: size }),
+            ),
+        ];
+        for (name, algo) in algos {
+            let groups = algo.form_groups(&labels, &mut init::rng(11));
+            rows.push(vec![
+                name.split('(').next().unwrap().to_string(),
+                name,
+                f(f64::from(mean_group_cov(&labels, &groups)), 3),
+                f(avg_overhead(&groups, &model), 3),
+            ]);
+        }
+    }
+    for max_cov in [0.1f32, 0.2, 0.4, 0.8, 1.2] {
+        let algo = CovGrouping {
+            min_group_size: 4,
+            max_cov,
+        };
+        let groups = algo.form_groups(&labels, &mut init::rng(11));
+        rows.push(vec![
+            "CoVG".to_string(),
+            format!("CoVG(maxcov={max_cov})"),
+            f(f64::from(mean_group_cov(&labels, &groups)), 3),
+            f(avg_overhead(&groups, &model), 3),
+        ]);
+    }
+
+    print_series(
+        "Fig 6: CoV vs average group overhead frontier",
+        &header,
+        &rows,
+    );
+    let path = write_csv("fig6", &to_csv(&header, &rows));
+    println!("\nwrote {}", path.display());
+
+    // Shape check: for comparable overhead (similar sizes), CoVG's CoV beats
+    // RG's. Compare CoVG at its largest-overhead point vs RG(gs=6).
+    let parse =
+        |row: &Vec<String>| -> (f64, f64) { (row[2].parse().unwrap(), row[3].parse().unwrap()) };
+    let rg6 = rows
+        .iter()
+        .find(|r| r[1].starts_with("RG(gs=6"))
+        .map(parse)
+        .unwrap();
+    let covg_best = rows
+        .iter()
+        .filter(|r| r[0] == "CoVG")
+        .map(parse)
+        .filter(|&(_, o)| o <= rg6.1 * 1.5)
+        .map(|(c, _)| c)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        covg_best < rg6.0,
+        "CoVG CoV {covg_best} must beat RG {0} at comparable overhead",
+        rg6.0
+    );
+    println!("shape check passed: CoVG dominates RG at comparable overhead");
+}

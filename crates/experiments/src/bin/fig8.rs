@@ -1,0 +1,65 @@
+//! Fig. 8 — the full RPi-4 overhead measurement: eight series,
+//! {CIFAR, SC} × {training, backdoor detection, SecAgg, SCAFFOLD SecAgg}.
+//!
+//! These curves *are* the calibration of the cost model (§7.1 "Total Cost
+//! Emulation"): the paper fits H_i and O_g to them and then drives every
+//! accuracy-vs-cost experiment from the fit. This binary prints the fitted
+//! curves over the paper's x ∈ [0, 50] range.
+
+use gfl_experiments::emit::{f, print_series, to_csv, write_csv};
+use gfl_sim::{CostModel, GroupOpKind, Task};
+
+fn main() {
+    let vision = CostModel::for_task(Task::Vision);
+    let speech = CostModel::for_task(Task::Speech);
+    let header = [
+        "x",
+        "cifar_train",
+        "cifar_backdoor",
+        "cifar_secagg",
+        "cifar_scaffold_secagg",
+        "sc_train",
+        "sc_backdoor",
+        "sc_secagg",
+        "sc_scaffold_secagg",
+    ];
+    let mut rows = Vec::new();
+    for x in (0..=50usize).step_by(5) {
+        rows.push(vec![
+            x.to_string(),
+            f(vision.training(x), 2),
+            f(vision.group_op(GroupOpKind::BackdoorDetection, x), 2),
+            f(vision.group_op(GroupOpKind::SecureAggregation, x), 2),
+            f(
+                vision.group_op(GroupOpKind::ScaffoldSecureAggregation, x),
+                2,
+            ),
+            f(speech.training(x), 2),
+            f(speech.group_op(GroupOpKind::BackdoorDetection, x), 2),
+            f(speech.group_op(GroupOpKind::SecureAggregation, x), 2),
+            f(
+                speech.group_op(GroupOpKind::ScaffoldSecureAggregation, x),
+                2,
+            ),
+        ]);
+    }
+    print_series(
+        "Fig 8: RPi overhead curves (emulated seconds)",
+        &header,
+        &rows,
+    );
+    let path = write_csv("fig8", &to_csv(&header, &rows));
+    println!("\nwrote {}", path.display());
+
+    // The orderings the paper's Fig. 8 exhibits.
+    for x in [10usize, 30, 50] {
+        for m in [vision, speech] {
+            let scaffold = m.group_op(GroupOpKind::ScaffoldSecureAggregation, x);
+            let secagg = m.group_op(GroupOpKind::SecureAggregation, x);
+            let backdoor = m.group_op(GroupOpKind::BackdoorDetection, x);
+            assert!(scaffold > secagg && secagg > backdoor);
+        }
+        assert!(vision.training(x) > speech.training(x));
+    }
+    println!("shape checks passed: SCAFFOLD SecAgg > SecAgg > backdoor; CIFAR > SC");
+}

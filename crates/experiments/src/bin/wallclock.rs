@@ -1,0 +1,94 @@
+//! Extension — wall-clock and network-traffic view of the hierarchy (§2.3's
+//! alternative measurement axes).
+//!
+//! Prints, for the vision configuration:
+//! 1. per-round WAN bytes of hierarchical vs flat (cloud-only) FL — the
+//!    scalability argument of §1;
+//! 2. per-round wall-clock under device heterogeneity: small CoV groups
+//!    finish faster because the synchronous barrier waits for fewer
+//!    stragglers per group.
+
+use gfl_core::engine::form_groups_per_edge;
+use gfl_core::grouping::{CovGrouping, GroupingAlgorithm, RandomGrouping};
+use gfl_experiments::emit::{f, print_series, to_csv, write_csv};
+use gfl_experiments::world::{ExpScale, World};
+use gfl_sim::{CommModel, CostModel, StragglerModel, Task};
+
+fn main() {
+    let scale = ExpScale::from_env();
+    let world = World::vision(0.1, 42, scale);
+    let params = world.model.param_len();
+    let comm = CommModel::edge_default();
+    let cost = CostModel::for_task(Task::Vision);
+    let stragglers = StragglerModel::heavy_tail(world.partition.num_clients(), 0.1, 4.0, 7);
+
+    // 1. WAN traffic: hierarchical vs flat.
+    let sampled_groups = scale.sampled_groups;
+    let avg_group = 6usize;
+    let hier_wan = sampled_groups as u64 * comm.group_cloud_bytes(params);
+    let flat_wan = (sampled_groups * avg_group) as u64 * 2 * CommModel::model_bytes(params);
+    println!(
+        "WAN bytes per global round: hierarchical {} KB vs flat {} KB ({}x saving)",
+        hier_wan / 1024,
+        flat_wan / 1024,
+        flat_wan / hier_wan.max(1)
+    );
+    assert!(hier_wan < flat_wan);
+
+    // 2. Wall-clock per global round for different groupings.
+    let header = ["grouping", "groups", "wall_clock_s"];
+    let mut rows = Vec::new();
+    let algos: Vec<(&str, Box<dyn GroupingAlgorithm>)> = vec![
+        ("RG6", Box::new(RandomGrouping { group_size: 6 })),
+        ("RG15", Box::new(RandomGrouping { group_size: 15 })),
+        (
+            "CoVG",
+            Box::new(CovGrouping {
+                min_group_size: 5,
+                max_cov: 0.5,
+            }),
+        ),
+    ];
+    let mut times = Vec::new();
+    for (name, algo) in algos {
+        let groups = form_groups_per_edge(
+            algo.as_ref(),
+            &world.topology,
+            &world.partition.label_matrix,
+            world.seed,
+        );
+        // Take the first `sampled_groups` groups as the round's sample.
+        let sample: Vec<_> = groups.iter().take(sampled_groups).collect();
+        let compute: Vec<Vec<f64>> = sample
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|&c| {
+                        let n_i = world.partition.indices[c].len();
+                        2.0 * cost.training(n_i) * stragglers.slowdown(c)
+                    })
+                    .collect()
+            })
+            .collect();
+        let t = comm.global_round_wall_clock(&compute, params, 5, 1.0);
+        println!("{name:5} {:3} groups  wall-clock {t:9.1}s / round", groups.len());
+        rows.push(vec![
+            name.to_string(),
+            groups.len().to_string(),
+            f(t, 1),
+        ]);
+        times.push((name, t));
+    }
+
+    print_series("Wall-clock per global round under stragglers", &header, &rows);
+    let path = write_csv("wallclock", &to_csv(&header, &rows));
+    println!("\nwrote {}", path.display());
+
+    // Bigger groups wait on more stragglers: RG15 slower than RG6.
+    let t = |n: &str| times.iter().find(|(m, _)| *m == n).unwrap().1;
+    assert!(
+        t("RG15") > t("RG6"),
+        "larger groups must lose more wall-clock to stragglers"
+    );
+    println!("shape check passed: group size amplifies straggler penalties");
+}

@@ -1,0 +1,94 @@
+//! Output helpers: aligned text tables to stdout, CSV files to `results/`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Writes `contents` to `results/<name>.csv`, creating the directory.
+/// Returns the path written.
+pub fn write_csv(name: &str, contents: &str) -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, contents).expect("write results csv");
+    path
+}
+
+/// Prints a header line followed by aligned numeric rows.
+///
+/// `header` and each row must have the same arity.
+pub fn print_series(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{line}");
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        println!("{line}");
+    }
+}
+
+/// Turns rows into CSV text with the given header.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = header.join(",");
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float at fixed precision (convenience for rows).
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let rows = vec![
+            vec!["1".to_string(), "0.5".to_string()],
+            vec!["2".to_string(), "0.75".to_string()],
+        ];
+        let csv = to_csv(&["x", "y"], &rows);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["x,y", "1,0.5", "2,0.75"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(-0.5, 3), "-0.500");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn print_series_checks_arity() {
+        print_series("t", &["a", "b"], &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let path = write_csv("emit_test_artifact", "a,b\n1,2\n");
+        assert!(path.exists());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.starts_with("a,b"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,21 @@
+//! Shared machinery for the experiment binaries — one binary per table /
+//! figure of the paper's §7 (see DESIGN.md §3 for the index).
+//!
+//! Every binary:
+//! 1. builds a *world* (synthetic federation mirroring the paper's setup),
+//! 2. runs one or more methods through the Algorithm-1 engine,
+//! 3. prints the same rows/series the paper plots, and
+//! 4. writes a CSV under `results/`.
+//!
+//! Scale is controlled by `GFL_SCALE`:
+//! * `small` (default) — a reduced federation that reproduces every *shape*
+//!   in minutes on a laptop (120 clients, 3 edges, shortened horizon).
+//! * `paper` — the paper's full §7.2 scale (300 clients, 10⁶ budget).
+
+pub mod emit;
+pub mod methods;
+pub mod world;
+
+pub use emit::{print_series, write_csv};
+pub use methods::{run_method, Method};
+pub use world::{ExpScale, World};

@@ -1,0 +1,3 @@
+//! Host package for the cross-crate integration tests in the
+//! repository-root `tests/` directory. Run with `cargo test -p
+//! gfl-integration` (or `cargo test --workspace`).

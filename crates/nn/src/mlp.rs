@@ -1,0 +1,466 @@
+//! Fully-connected ReLU network with softmax cross-entropy, flat parameters,
+//! and manual backprop.
+//!
+//! Parameter layout for dims `[d0, d1, ..., dL]`: for each layer `l`, the
+//! weight matrix `W_l` (`d_{l+1} × d_l`, row-major) followed by the bias
+//! `b_l` (`d_{l+1}`). Forward over a batch `X` (`B × d0`):
+//! `A_{l+1} = relu(A_l · W_lᵀ + b_l)` with no ReLU after the last layer.
+//!
+//! Backward: with `P = softmax(logits)` and one-hot targets `Y`,
+//! `Δ_L = (P − Y)/B`, then `∇W_l = Δ_{l+1}ᵀ · A_l`, `∇b_l = colsum(Δ_{l+1})`,
+//! `Δ_l = (Δ_{l+1} · W_l) ⊙ relu'(A_l)`.
+
+use gfl_tensor::{init, ops, Matrix, Scalar};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Params;
+
+/// Architecture descriptor: layer widths including input and output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mlp {
+    dims: Vec<usize>,
+}
+
+/// Reusable forward/backward buffers. One per training thread; created by
+/// [`Mlp::workspace`] and resized lazily when the batch size changes.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Activations per layer; `acts[0]` is the input batch copy.
+    acts: Vec<Matrix>,
+    /// Backprop deltas per non-input layer.
+    deltas: Vec<Matrix>,
+    batch: usize,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer widths (≥ 2 entries).
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        Self { dims }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output classes.
+    pub fn num_classes(&self) -> usize {
+        *self.dims.last().unwrap()
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Total parameter count.
+    pub fn param_len(&self) -> usize {
+        (0..self.num_layers())
+            .map(|l| self.dims[l + 1] * self.dims[l] + self.dims[l + 1])
+            .sum()
+    }
+
+    /// Flat offset of layer `l`'s weight block.
+    fn layer_offset(&self, l: usize) -> usize {
+        (0..l)
+            .map(|k| self.dims[k + 1] * self.dims[k] + self.dims[k + 1])
+            .sum()
+    }
+
+    /// Splits flat params into per-layer `(weights, bias)` slices.
+    fn layers<'a>(&self, params: &'a [Scalar]) -> Vec<(&'a [Scalar], &'a [Scalar])> {
+        assert_eq!(params.len(), self.param_len(), "param length mismatch");
+        let mut out = Vec::with_capacity(self.num_layers());
+        let mut off = 0;
+        for l in 0..self.num_layers() {
+            let (o, i) = (self.dims[l + 1], self.dims[l]);
+            let w = &params[off..off + o * i];
+            off += o * i;
+            let b = &params[off..off + o];
+            off += o;
+            out.push((w, b));
+        }
+        out
+    }
+
+    /// He-initialized parameters (biases zero), deterministic in the RNG.
+    pub fn init_params(&self, rng: &mut impl Rng) -> Params {
+        let mut params = vec![0.0; self.param_len()];
+        for l in 0..self.num_layers() {
+            let (o, i) = (self.dims[l + 1], self.dims[l]);
+            let w = init::he_matrix(rng, o, i);
+            let off = self.layer_offset(l);
+            params[off..off + o * i].copy_from_slice(w.as_slice());
+            // biases stay zero
+        }
+        params
+    }
+
+    /// Creates an empty workspace for this architecture.
+    pub fn workspace(&self) -> Workspace {
+        Workspace::default()
+    }
+
+    fn prepare_workspace(&self, ws: &mut Workspace, batch: usize) {
+        if ws.batch == batch && ws.acts.len() == self.dims.len() {
+            return;
+        }
+        ws.acts = self.dims.iter().map(|&d| Matrix::zeros(batch, d)).collect();
+        ws.deltas = self.dims[1..]
+            .iter()
+            .map(|&d| Matrix::zeros(batch, d))
+            .collect();
+        ws.batch = batch;
+    }
+
+    /// Runs the forward pass; afterwards `ws.acts.last()` holds the logits.
+    fn forward_into(&self, params: &[Scalar], x: &Matrix, ws: &mut Workspace) {
+        assert_eq!(x.cols(), self.input_dim(), "input dim mismatch");
+        self.prepare_workspace(ws, x.rows());
+        ws.acts[0].as_mut_slice().copy_from_slice(x.as_slice());
+        let layers = self.layers(params);
+        for (l, &(w, b)) in layers.iter().enumerate() {
+            let (o, i) = (self.dims[l + 1], self.dims[l]);
+            let wmat = MatrixView {
+                rows: o,
+                cols: i,
+                data: w,
+            };
+            // acts[l+1] = acts[l] · Wᵀ + b  (+ relu except last layer)
+            let (before, after) = ws.acts.split_at_mut(l + 1);
+            let input = &before[l];
+            let out = &mut after[0];
+            for r in 0..input.rows() {
+                let x_row = input.row(r);
+                let out_row = out.row_mut(r);
+                for (j, o_val) in out_row.iter_mut().enumerate() {
+                    *o_val = ops::dot(x_row, wmat.row(j)) + b[j];
+                }
+            }
+            if l + 1 < self.num_layers() + 1 && l != self.num_layers() - 1 {
+                ops::relu(out.as_mut_slice());
+            }
+        }
+    }
+
+    /// Computes average loss over the batch and accumulates the gradient
+    /// into `grad` (which is fully overwritten). Returns the mean
+    /// cross-entropy loss. `grad.len()` must equal [`Mlp::param_len`].
+    pub fn loss_and_grad(
+        &self,
+        params: &[Scalar],
+        features: &Matrix,
+        labels: &[usize],
+        grad: &mut [Scalar],
+        ws: &mut Workspace,
+    ) -> Scalar {
+        assert_eq!(features.rows(), labels.len(), "batch misaligned");
+        assert_eq!(grad.len(), self.param_len(), "grad length mismatch");
+        let batch = labels.len();
+        assert!(batch > 0, "empty batch");
+        self.forward_into(params, features, ws);
+
+        // Softmax + CE on the last activation; Δ_L = (P − Y)/B in place.
+        let num_layers = self.num_layers();
+        let logits_idx = num_layers;
+        let mut loss = 0.0;
+        {
+            let last_delta = ws.deltas.last_mut().unwrap();
+            last_delta
+                .as_mut_slice()
+                .copy_from_slice(ws.acts[logits_idx].as_slice());
+            let inv_b = 1.0 / batch as Scalar;
+            for (r, &label) in labels.iter().enumerate() {
+                let row = last_delta.row_mut(r);
+                ops::softmax(row);
+                loss += ops::cross_entropy(row, label);
+                row[label] -= 1.0;
+                ops::scale(inv_b, row);
+            }
+            loss /= batch as Scalar;
+        }
+
+        grad.fill(0.0);
+        // Walk layers backwards.
+        for l in (0..num_layers).rev() {
+            let (o, i) = (self.dims[l + 1], self.dims[l]);
+            let off = self.layer_offset(l);
+            // Split grad into this layer's W and b destinations.
+            let (gw, rest) = grad[off..].split_at_mut(o * i);
+            let gb = &mut rest[..o];
+
+            // ∇W_l = Δ_{l+1}ᵀ · A_l ; ∇b_l = colsum(Δ_{l+1})
+            let delta = &ws.deltas[l];
+            let act = &ws.acts[l];
+            for r in 0..delta.rows() {
+                let d_row = delta.row(r);
+                let a_row = act.row(r);
+                for (j, &dj) in d_row.iter().enumerate() {
+                    if dj != 0.0 {
+                        ops::axpy(dj, a_row, &mut gw[j * i..(j + 1) * i]);
+                        gb[j] += dj;
+                    } else {
+                        gb[j] += dj;
+                    }
+                }
+            }
+
+            // Δ_l = (Δ_{l+1} · W_l) ⊙ relu'(A_l), skipped for the input.
+            if l > 0 {
+                let w = {
+                    let layers = self.layers(params);
+                    layers[l].0
+                };
+                let wview = MatrixView {
+                    rows: o,
+                    cols: i,
+                    data: w,
+                };
+                let (lower, upper) = ws.deltas.split_at_mut(l);
+                let next_delta = &upper[0];
+                let this_delta = &mut lower[l - 1];
+                for r in 0..next_delta.rows() {
+                    let src = next_delta.row(r);
+                    let dst = this_delta.row_mut(r);
+                    dst.fill(0.0);
+                    for (j, &dj) in src.iter().enumerate() {
+                        if dj != 0.0 {
+                            ops::axpy(dj, wview.row(j), dst);
+                        }
+                    }
+                    ops::relu_backward(ws.acts[l].row(r), dst);
+                }
+            }
+        }
+        loss
+    }
+
+    /// Predicts class labels for a feature matrix.
+    pub fn predict(&self, params: &[Scalar], features: &Matrix, ws: &mut Workspace) -> Vec<usize> {
+        if features.rows() == 0 {
+            return Vec::new();
+        }
+        self.forward_into(params, features, ws);
+        let logits = ws.acts.last().unwrap();
+        (0..logits.rows())
+            .map(|r| ops::argmax(logits.row(r)))
+            .collect()
+    }
+
+    /// Mean loss and accuracy over a labeled set. Parallelized over row
+    /// chunks via `gfl-parallel`; each worker gets its own workspace.
+    pub fn evaluate(&self, params: &[Scalar], features: &Matrix, labels: &[usize]) -> EvalResult {
+        assert_eq!(features.rows(), labels.len());
+        let n = labels.len();
+        if n == 0 {
+            return EvalResult {
+                loss: 0.0,
+                accuracy: 0.0,
+                examples: 0,
+            };
+        }
+        let threads = gfl_parallel::default_parallelism().clamp(1, n);
+        let ranges = gfl_parallel::chunk_ranges(n, threads);
+        let partials = gfl_parallel::par_map(&ranges, |&(s, e)| {
+            let mut ws = self.workspace();
+            let idx: Vec<usize> = (s..e).collect();
+            let chunk = features.gather_rows(&idx);
+            self.forward_into(params, &chunk, &mut ws);
+            let logits = ws.acts.last().unwrap();
+            let mut loss = 0.0f32;
+            let mut correct = 0usize;
+            let mut probs = vec![0.0f32; self.num_classes()];
+            for (r, &label) in labels[s..e].iter().enumerate() {
+                probs.copy_from_slice(logits.row(r));
+                let pred = ops::argmax(&probs);
+                ops::softmax(&mut probs);
+                loss += ops::cross_entropy(&probs, label);
+                correct += usize::from(pred == label);
+            }
+            (loss, correct)
+        });
+        let (loss_sum, correct) = partials
+            .into_iter()
+            .fold((0.0f32, 0usize), |(l, c), (pl, pc)| (l + pl, c + pc));
+        EvalResult {
+            loss: loss_sum / n as Scalar,
+            accuracy: correct as Scalar / n as Scalar,
+            examples: n,
+        }
+    }
+}
+
+/// Borrowed row-major matrix view over a parameter slice.
+struct MatrixView<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [Scalar],
+}
+
+impl<'a> MatrixView<'a> {
+    #[inline]
+    fn row(&self, r: usize) -> &'a [Scalar] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// Result of [`Mlp::evaluate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalResult {
+    /// Mean cross-entropy loss.
+    pub loss: Scalar,
+    /// Top-1 accuracy in `[0, 1]`.
+    pub accuracy: Scalar,
+    /// Number of evaluated examples.
+    pub examples: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfl_tensor::init::rng;
+
+    fn finite_difference_check(mlp: &Mlp, batch: usize, seed: u64) -> (f32, f32) {
+        let mut r = rng(seed);
+        let params = mlp.init_params(&mut r);
+        let features = Matrix::from_fn(batch, mlp.input_dim(), |_, _| {
+            init::normal(&mut r, 0.0, 1.0)
+        });
+        let labels: Vec<usize> = (0..batch).map(|i| i % mlp.num_classes()).collect();
+        let mut grad = vec![0.0; mlp.param_len()];
+        let mut ws = mlp.workspace();
+        mlp.loss_and_grad(&params, &features, &labels, &mut grad, &mut ws);
+
+        // Check a handful of coordinates against central differences.
+        let eps = 1e-3f32;
+        let mut max_rel = 0.0f32;
+        let mut max_abs = 0.0f32;
+        let stride = (mlp.param_len() / 37).max(1);
+        for k in (0..mlp.param_len()).step_by(stride) {
+            let mut p_plus = params.clone();
+            p_plus[k] += eps;
+            let mut p_minus = params.clone();
+            p_minus[k] -= eps;
+            let mut dummy = vec![0.0; mlp.param_len()];
+            let lp = mlp.loss_and_grad(&p_plus, &features, &labels, &mut dummy, &mut ws);
+            let lm = mlp.loss_and_grad(&p_minus, &features, &labels, &mut dummy, &mut ws);
+            let fd = (lp - lm) / (2.0 * eps);
+            let diff = (grad[k] - fd).abs();
+            max_abs = max_abs.max(diff);
+            max_rel = max_rel.max(diff / (1e-4 + fd.abs().max(grad[k].abs())));
+        }
+        (max_abs, max_rel)
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_single_layer() {
+        let mlp = Mlp::new(vec![5, 3]);
+        let (abs, rel) = finite_difference_check(&mlp, 4, 1);
+        assert!(abs < 2e-2 && rel < 0.05, "abs {abs} rel {rel}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_deep() {
+        let mlp = Mlp::new(vec![6, 8, 7, 4]);
+        let (abs, rel) = finite_difference_check(&mlp, 5, 2);
+        assert!(abs < 2e-2 && rel < 0.08, "abs {abs} rel {rel}");
+    }
+
+    #[test]
+    fn param_len_matches_layout() {
+        let mlp = Mlp::new(vec![4, 5, 3]);
+        assert_eq!(mlp.param_len(), 4 * 5 + 5 + 5 * 3 + 3);
+        let mut r = rng(0);
+        assert_eq!(mlp.init_params(&mut r).len(), mlp.param_len());
+    }
+
+    #[test]
+    fn training_reduces_loss_on_separable_data() {
+        use gfl_data::SyntheticSpec;
+        let spec = SyntheticSpec::tiny();
+        let data = spec.generate(200, 3);
+        let mlp = Mlp::new(vec![spec.feature_dim, 16, spec.num_classes]);
+        let mut r = rng(4);
+        let mut params = mlp.init_params(&mut r);
+        let mut grad = vec![0.0; mlp.param_len()];
+        let mut ws = mlp.workspace();
+        let initial = mlp.evaluate(&params, data.features(), data.labels()).loss;
+        for _ in 0..60 {
+            let loss =
+                mlp.loss_and_grad(&params, data.features(), data.labels(), &mut grad, &mut ws);
+            assert!(loss.is_finite());
+            ops::axpy(-0.5, &grad, &mut params);
+        }
+        let result = mlp.evaluate(&params, data.features(), data.labels());
+        assert!(
+            result.loss < initial * 0.5,
+            "loss {initial} -> {}",
+            result.loss
+        );
+        assert!(result.accuracy > 0.8, "accuracy {}", result.accuracy);
+    }
+
+    #[test]
+    fn predict_agrees_with_evaluate_accuracy() {
+        use gfl_data::SyntheticSpec;
+        let data = SyntheticSpec::tiny().generate(60, 8);
+        let mlp = Mlp::new(vec![4, 3]);
+        let mut r = rng(5);
+        let params = mlp.init_params(&mut r);
+        let mut ws = mlp.workspace();
+        let preds = mlp.predict(&params, data.features(), &mut ws);
+        let manual_acc = preds
+            .iter()
+            .zip(data.labels())
+            .filter(|(p, l)| p == l)
+            .count() as f32
+            / data.len() as f32;
+        let eval = mlp.evaluate(&params, data.features(), data.labels());
+        assert!((manual_acc - eval.accuracy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn workspace_reuse_across_batch_sizes() {
+        let mlp = Mlp::new(vec![3, 4, 2]);
+        let mut r = rng(6);
+        let params = mlp.init_params(&mut r);
+        let mut ws = mlp.workspace();
+        for batch in [1usize, 7, 3, 7] {
+            let f = Matrix::from_fn(batch, 3, |r_, c| (r_ + c) as f32 * 0.1);
+            let labels = vec![0usize; batch];
+            let mut grad = vec![0.0; mlp.param_len()];
+            let loss = mlp.loss_and_grad(&params, &f, &labels, &mut grad, &mut ws);
+            assert!(loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn deterministic_init() {
+        let mlp = Mlp::new(vec![4, 4]);
+        let a = mlp.init_params(&mut rng(9));
+        let b = mlp.init_params(&mut rng(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        let mlp = Mlp::new(vec![2, 2]);
+        let params = vec![0.0; mlp.param_len()];
+        let mut grad = vec![0.0; mlp.param_len()];
+        let mut ws = mlp.workspace();
+        mlp.loss_and_grad(&params, &Matrix::zeros(0, 2), &[], &mut grad, &mut ws);
+    }
+
+    #[test]
+    fn evaluate_empty_set_is_safe() {
+        let mlp = Mlp::new(vec![2, 2]);
+        let params = vec![0.0; mlp.param_len()];
+        let r = mlp.evaluate(&params, &Matrix::zeros(0, 2), &[]);
+        assert_eq!(r.examples, 0);
+    }
+}

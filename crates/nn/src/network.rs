@@ -1,0 +1,171 @@
+//! [`Network`] — the unified model type the federated stack trains.
+//!
+//! The paper evaluates two architectures (a small ResNet and a 5-layer
+//! CNN). Rather than making every engine type generic over the model, the
+//! workspace-owning call sites dispatch over this small enum: both
+//! variants expose identical flat-parameter semantics, so aggregation,
+//! SecAgg masking, SCAFFOLD variates, and defenses are oblivious to which
+//! architecture is inside.
+
+use gfl_tensor::{Matrix, Scalar};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::conv::{Cnn1d, CnnWorkspace};
+use crate::mlp::{EvalResult, Mlp, Workspace as MlpWorkspace};
+use crate::Params;
+
+/// A trainable model: fully-connected or 1-D convolutional.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Network {
+    Mlp(Mlp),
+    Cnn(Cnn1d),
+}
+
+/// Per-thread buffers matching the [`Network`] variant.
+#[derive(Debug)]
+pub enum NetworkWorkspace {
+    Mlp(MlpWorkspace),
+    // Boxed: the CNN workspace is an order of magnitude larger than the
+    // MLP one and would otherwise bloat every enum instance.
+    Cnn(Box<CnnWorkspace>),
+}
+
+impl From<Mlp> for Network {
+    fn from(m: Mlp) -> Self {
+        Network::Mlp(m)
+    }
+}
+
+impl From<Cnn1d> for Network {
+    fn from(c: Cnn1d) -> Self {
+        Network::Cnn(c)
+    }
+}
+
+impl Network {
+    pub fn input_dim(&self) -> usize {
+        match self {
+            Network::Mlp(m) => m.input_dim(),
+            Network::Cnn(c) => c.input_dim(),
+        }
+    }
+
+    pub fn num_classes(&self) -> usize {
+        match self {
+            Network::Mlp(m) => m.num_classes(),
+            Network::Cnn(c) => c.num_classes(),
+        }
+    }
+
+    pub fn param_len(&self) -> usize {
+        match self {
+            Network::Mlp(m) => m.param_len(),
+            Network::Cnn(c) => c.param_len(),
+        }
+    }
+
+    pub fn init_params(&self, rng: &mut impl Rng) -> Params {
+        match self {
+            Network::Mlp(m) => m.init_params(rng),
+            Network::Cnn(c) => c.init_params(rng),
+        }
+    }
+
+    pub fn workspace(&self) -> NetworkWorkspace {
+        match self {
+            Network::Mlp(m) => NetworkWorkspace::Mlp(m.workspace()),
+            Network::Cnn(c) => NetworkWorkspace::Cnn(Box::new(c.workspace())),
+        }
+    }
+
+    /// Mean batch loss; gradient overwritten into `grad`.
+    ///
+    /// # Panics
+    /// Panics if `ws` came from the other variant.
+    pub fn loss_and_grad(
+        &self,
+        params: &[Scalar],
+        features: &Matrix,
+        labels: &[usize],
+        grad: &mut [Scalar],
+        ws: &mut NetworkWorkspace,
+    ) -> Scalar {
+        match (self, ws) {
+            (Network::Mlp(m), NetworkWorkspace::Mlp(w)) => {
+                m.loss_and_grad(params, features, labels, grad, w)
+            }
+            (Network::Cnn(c), NetworkWorkspace::Cnn(w)) => {
+                c.loss_and_grad(params, features, labels, grad, w)
+            }
+            _ => panic!("workspace does not match network variant"),
+        }
+    }
+
+    pub fn predict(
+        &self,
+        params: &[Scalar],
+        features: &Matrix,
+        ws: &mut NetworkWorkspace,
+    ) -> Vec<usize> {
+        match (self, ws) {
+            (Network::Mlp(m), NetworkWorkspace::Mlp(w)) => m.predict(params, features, w),
+            (Network::Cnn(c), NetworkWorkspace::Cnn(w)) => c.predict(params, features, w),
+            _ => panic!("workspace does not match network variant"),
+        }
+    }
+
+    pub fn evaluate(&self, params: &[Scalar], features: &Matrix, labels: &[usize]) -> EvalResult {
+        match self {
+            Network::Mlp(m) => m.evaluate(params, features, labels),
+            Network::Cnn(c) => c.evaluate(params, features, labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfl_tensor::init::rng;
+
+    #[test]
+    fn mlp_variant_delegates() {
+        let net: Network = Mlp::new(vec![4, 8, 3]).into();
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.num_classes(), 3);
+        let p = net.init_params(&mut rng(1));
+        assert_eq!(p.len(), net.param_len());
+        let mut ws = net.workspace();
+        let features = Matrix::from_fn(2, 4, |r, c| (r + c) as f32 * 0.1);
+        let mut grad = vec![0.0; net.param_len()];
+        let loss = net.loss_and_grad(&p, &features, &[0, 1], &mut grad, &mut ws);
+        assert!(loss.is_finite());
+        assert_eq!(net.predict(&p, &features, &mut ws).len(), 2);
+    }
+
+    #[test]
+    fn cnn_variant_delegates() {
+        let net: Network = Cnn1d::new(8, 2, 2, 3, 3, 3).into();
+        assert_eq!(net.input_dim(), 8);
+        let p = net.init_params(&mut rng(2));
+        let mut ws = net.workspace();
+        let features = Matrix::from_fn(2, 8, |r, c| (r * 8 + c) as f32 * 0.05);
+        let mut grad = vec![0.0; net.param_len()];
+        let loss = net.loss_and_grad(&p, &features, &[0, 2], &mut grad, &mut ws);
+        assert!(loss.is_finite());
+        let eval = net.evaluate(&p, &features, &[0, 2]);
+        assert_eq!(eval.examples, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace does not match")]
+    fn mismatched_workspace_panics() {
+        let mlp: Network = Mlp::new(vec![4, 3]).into();
+        let cnn: Network = Cnn1d::new(8, 2, 2, 3, 3, 3).into();
+        let p = mlp.init_params(&mut rng(3));
+        let mut ws = cnn.workspace();
+        let features = Matrix::zeros(1, 4);
+        let mut grad = vec![0.0; mlp.param_len()];
+        mlp.loss_and_grad(&p, &features, &[0], &mut grad, &mut ws);
+    }
+}

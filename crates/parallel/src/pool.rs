@@ -1,0 +1,178 @@
+//! A persistent thread pool for `'static` jobs.
+//!
+//! The fork-join helpers in [`crate::scope`] spawn scoped threads per region,
+//! which is fine for coarse regions but wasteful for long-lived services. The
+//! simulator uses `ThreadPool` for jobs that outlive a borrow scope: metric
+//! sinks, CSV writers, and the per-edge-server grouping workers in the
+//! experiment binaries.
+
+use std::sync::Arc;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Inner {
+    /// Number of jobs submitted but not yet finished.
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing FIFO jobs.
+///
+/// Dropping the pool closes the queue and joins all workers, running any
+/// jobs still queued. Use [`ThreadPool::wait`] to block until the pool is
+/// idle without shutting it down.
+pub struct ThreadPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    inner: Arc<Inner>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+        let inner = Arc::new(Inner {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for id in 0..threads {
+            let rx = rx.clone();
+            let inner = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("gfl-pool-{id}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        let mut pending = inner.pending.lock();
+                        *pending -= 1;
+                        if *pending == 0 {
+                            inner.all_done.notify_all();
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker");
+            workers.push(handle);
+        }
+        Self {
+            tx: Some(tx),
+            workers,
+            inner,
+        }
+    }
+
+    /// Creates a pool sized to [`crate::default_parallelism`].
+    pub fn with_default_parallelism() -> Self {
+        Self::new(crate::default_parallelism())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits a job for execution.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, job: F) {
+        {
+            let mut pending = self.inner.pending.lock();
+            *pending += 1;
+        }
+        self.tx
+            .as_ref()
+            .expect("pool is shut down")
+            .send(Box::new(job))
+            .expect("pool workers exited early");
+    }
+
+    /// Blocks until every submitted job has finished.
+    pub fn wait(&self) {
+        let mut pending = self.inner.pending.lock();
+        while *pending > 0 {
+            self.inner.all_done.wait(&mut pending);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel lets workers drain remaining jobs and exit.
+        self.tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn wait_on_idle_pool_returns_immediately() {
+        let pool = ThreadPool::new(2);
+        pool.wait();
+    }
+
+    #[test]
+    fn drop_drains_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(1);
+            for _ in 0..10 {
+                let c = Arc::clone(&counter);
+                pool.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.spawn(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.wait();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn reusable_after_wait() {
+        let pool = ThreadPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 0..3 {
+            for _ in 0..20 {
+                let c = Arc::clone(&counter);
+                pool.spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            pool.wait();
+            assert_eq!(counter.load(Ordering::Relaxed), (round + 1) * 20);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Fork-join regions over slices, implemented with crossbeam scoped threads.
+//!
+//! Scheduling is atomic index stealing: workers repeatedly claim the next
+//! unprocessed index (or chunk of indices) from a shared counter. This keeps
+//! load balanced when per-item cost is highly skewed — exactly the situation
+//! in federated simulation, where client dataset sizes span an order of
+//! magnitude (20–200 samples in the paper's setup).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::default_parallelism;
+
+/// Work-claiming granularity for the fork-join helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chunking {
+    /// Workers claim one index at a time. Best for coarse, skewed tasks
+    /// (client training).
+    Single,
+    /// Workers claim fixed-size runs of indices. Best for fine-grained tasks
+    /// (vector arithmetic) where counter contention would dominate.
+    Fixed(usize),
+    /// Pick a run size automatically from `len` and thread count.
+    Auto,
+}
+
+impl Chunking {
+    fn run_len(self, len: usize, threads: usize) -> usize {
+        match self {
+            Chunking::Single => 1,
+            Chunking::Fixed(n) => n.max(1),
+            Chunking::Auto => {
+                // Aim for ~4 claims per worker to balance stealing overhead
+                // against skew tolerance.
+                let target = threads.saturating_mul(4).max(1);
+                (len / target).max(1)
+            }
+        }
+    }
+}
+
+/// Applies `f` to every item of `items`, returning outputs in input order.
+///
+/// Runs on up to [`default_parallelism`] scoped threads. `f` must be
+/// `Sync` because multiple workers call it concurrently.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, default_parallelism(), Chunking::Single, f)
+}
+
+/// [`par_map`] with explicit thread count and chunking policy.
+pub fn par_map_with<T, U, F>(items: &[T], threads: usize, chunking: Chunking, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, len);
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let mut out: Vec<Option<U>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    let run = chunking.run_len(len, threads);
+    let cursor = AtomicUsize::new(0);
+
+    // Hand each worker a disjoint set of output slots. We split the output
+    // into per-index cells via raw chunks of the Option buffer: using
+    // `chunks_mut(1)` would serialize, so instead we share `&out` through an
+    // UnsafeCell-free design: each claimed index is written by exactly one
+    // worker, which we express safely by splitting the buffer into
+    // single-element mutable slices distributed through a lock-free claim.
+    //
+    // Safe formulation: collect (index, value) pairs per worker, then write
+    // them after the join. This costs one extra buffer but avoids all
+    // aliasing subtleties and keeps the code obviously correct.
+    let pairs: Vec<Vec<(usize, U)>> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            handles.push(s.spawn(move |_| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(run, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + run).min(len);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        local.push((i, f(item)));
+                    }
+                }
+                local
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked");
+
+    for worker_pairs in pairs {
+        for (i, v) in worker_pairs {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Applies `f` to every element of `items` in place, in parallel.
+///
+/// Elements are partitioned into contiguous chunks, one per worker, so each
+/// `&mut T` is held by exactly one thread.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return;
+    }
+    let threads = default_parallelism().clamp(1, len);
+    if threads == 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let ranges = crate::chunk_ranges(len, threads);
+    crossbeam::thread::scope(|s| {
+        let mut rest = items;
+        let mut offset = 0;
+        for &(start, end) in &ranges {
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            let f = &f;
+            let base = offset;
+            offset = end;
+            s.spawn(move |_| {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(base + i, item);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map-reduce: maps each item through `map` and folds the results
+/// with `reduce`, starting from `identity`.
+///
+/// `reduce` must be associative and commutative with respect to `identity`
+/// for the result to be deterministic (per-worker partials are combined in
+/// worker order, but items are assigned to workers dynamically).
+pub fn par_reduce<T, A, M, R>(items: &[T], identity: A, map: M, reduce: R) -> A
+where
+    T: Sync,
+    A: Send + Clone,
+    M: Fn(&T) -> A + Sync,
+    R: Fn(A, A) -> A + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return identity;
+    }
+    let threads = default_parallelism().clamp(1, len);
+    if threads == 1 {
+        return items
+            .iter()
+            .fold(identity, |acc, item| reduce(acc, map(item)));
+    }
+    let cursor = AtomicUsize::new(0);
+    let run = Chunking::Auto.run_len(len, threads);
+    let partials: Vec<A> = crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let map = &map;
+            let reduce = &reduce;
+            let id = identity.clone();
+            handles.push(s.spawn(move |_| {
+                let mut acc = id;
+                loop {
+                    let start = cursor.fetch_add(run, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + run).min(len);
+                    for item in &items[start..end] {
+                        acc = reduce(acc, map(item));
+                    }
+                }
+                acc
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker thread panicked");
+
+    partials.into_iter().fold(identity, reduce)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |&x| x * 2);
+        let expected: Vec<u64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_with_every_chunking_matches_sequential() {
+        let items: Vec<i64> = (0..101).map(|i| i * 3 - 50).collect();
+        let expected: Vec<i64> = items.iter().map(|&x| x * x).collect();
+        for chunking in [Chunking::Single, Chunking::Fixed(7), Chunking::Auto] {
+            for threads in [1, 2, 5, 16] {
+                assert_eq!(
+                    par_map_with(&items, threads, chunking, |&x| x * x),
+                    expected,
+                    "chunking={chunking:?} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_element_once() {
+        let mut items = vec![0u32; 1000];
+        par_for_each_mut(&mut items, |i, v| *v += i as u32 + 1);
+        for (i, &v) in items.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_empty_is_noop() {
+        let mut items: Vec<u8> = Vec::new();
+        par_for_each_mut(&mut items, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_reduce_sums_like_sequential() {
+        let items: Vec<u64> = (1..=10_000).collect();
+        let total = par_reduce(&items, 0u64, |&x| x, |a, b| a + b);
+        assert_eq!(total, 10_000 * 10_001 / 2);
+    }
+
+    #[test]
+    fn par_reduce_with_nontrivial_identity() {
+        let items: Vec<u64> = (1..=100).collect();
+        let max = par_reduce(&items, u64::MIN, |&x| x, |a, b| a.max(b));
+        assert_eq!(max, 100);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items where the first item is vastly more expensive; index stealing
+        // should still finish (this is a smoke test for deadlock/livelock).
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            if x == 0 {
+                (0..50_000u64).sum::<u64>()
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Communication and wall-clock modelling — the §2.3 measurement axes the
+//! paper's related work optimizes (training time [24], traffic [26, 27]).
+//!
+//! The emulated-seconds cost of [`crate::cost`] charges *device effort*
+//! (Eq. 5). This module adds the orthogonal axes a deployment also cares
+//! about: bytes moved per link and synchronous wall-clock time including
+//! stragglers. Hierarchy matters here: the client↔edge hop is cheap and
+//! parallel across groups, while the edge↔cloud hop only carries one group
+//! model per sampled group per global round — which is exactly the
+//! scalability argument for HFL (§1).
+
+use serde::{Deserialize, Serialize};
+
+/// One directed network link.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Sustained throughput, bytes per second.
+    pub bytes_per_s: f64,
+    /// Per-message latency, seconds.
+    pub latency_s: f64,
+}
+
+impl LinkModel {
+    /// Seconds to move `bytes` over this link.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bytes_per_s
+    }
+}
+
+/// Link pair for the two hops of the Fig. 1 hierarchy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Client ↔ edge (both directions assumed symmetric): WiFi-class.
+    pub client_edge: LinkModel,
+    /// Edge ↔ cloud: WAN-class.
+    pub edge_cloud: LinkModel,
+}
+
+impl CommModel {
+    /// Edge-deployment defaults: 20 MB/s WiFi at 5 ms, 5 MB/s WAN at 40 ms.
+    pub fn edge_default() -> Self {
+        Self {
+            client_edge: LinkModel {
+                bytes_per_s: 20e6,
+                latency_s: 0.005,
+            },
+            edge_cloud: LinkModel {
+                bytes_per_s: 5e6,
+                latency_s: 0.040,
+            },
+        }
+    }
+
+    /// Serialized size of a model with `params` f32 parameters.
+    pub fn model_bytes(params: usize) -> u64 {
+        4 * params as u64
+    }
+
+    /// Bytes a single client moves in one *global* round: one global-model
+    /// download plus `K` masked-update uploads (`payload_factor` = 2.0 for
+    /// SCAFFOLD's variate-carrying uploads).
+    pub fn client_bytes_per_round(
+        &self,
+        params: usize,
+        group_rounds: usize,
+        payload_factor: f64,
+    ) -> u64 {
+        let model = Self::model_bytes(params) as f64;
+        // download x_t once + download x_g per group round after the first,
+        // + upload per group round.
+        let downloads = model * group_rounds as f64;
+        let uploads = model * payload_factor * group_rounds as f64;
+        (downloads + uploads) as u64
+    }
+
+    /// Bytes one *group* moves over the edge↔cloud link per global round:
+    /// one group-model upload + one global-model download.
+    pub fn group_cloud_bytes(&self, params: usize) -> u64 {
+        2 * Self::model_bytes(params)
+    }
+
+    /// Synchronous wall-clock time of one global round.
+    ///
+    /// Per group: `K` rounds of (slowest client's compute + up/down link
+    /// transfer); groups run in parallel so the round takes the slowest
+    /// group, then one edge→cloud exchange.
+    ///
+    /// `client_compute[g][i]` is the per-group-round compute time of client
+    /// `i` of group `g` (already including straggler slowdowns).
+    pub fn global_round_wall_clock(
+        &self,
+        client_compute: &[Vec<f64>],
+        params: usize,
+        group_rounds: usize,
+        payload_factor: f64,
+    ) -> f64 {
+        let model_bytes = (Self::model_bytes(params) as f64 * payload_factor) as u64;
+        let per_group = client_compute.iter().map(|clients| {
+            let slowest = clients.iter().copied().fold(0.0f64, f64::max);
+            let hop = self.client_edge.transfer_time(model_bytes)
+                + self.client_edge.transfer_time(Self::model_bytes(params));
+            group_rounds as f64 * (slowest + hop)
+        });
+        let slowest_group = per_group.fold(0.0f64, f64::max);
+        slowest_group
+            + self
+                .edge_cloud
+                .transfer_time(self.group_cloud_bytes(params))
+    }
+}
+
+/// Multiplicative compute slowdowns per client (device heterogeneity).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StragglerModel {
+    slowdowns: Vec<f64>,
+}
+
+impl StragglerModel {
+    /// No heterogeneity: every client at 1.0×.
+    pub fn uniform(clients: usize) -> Self {
+        Self {
+            slowdowns: vec![1.0; clients],
+        }
+    }
+
+    /// Deterministic heavy-tailed slowdowns: a `fraction` of clients run at
+    /// `factor`× (e.g. 10% of devices 4× slower — the classic straggler
+    /// profile). Client assignment is seeded.
+    pub fn heavy_tail(clients: usize, fraction: f64, factor: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        assert!(factor >= 1.0);
+        let mut slowdowns = vec![1.0; clients];
+        // Simple multiplicative-hash selection keeps this dependency-free.
+        let slow_count = (clients as f64 * fraction).round() as usize;
+        let mut order: Vec<usize> = (0..clients).collect();
+        order.sort_by_key(|&c| (c as u64 ^ seed).wrapping_mul(0x9E3779B97F4A7C15));
+        for &c in order.iter().take(slow_count) {
+            slowdowns[c] = factor;
+        }
+        Self { slowdowns }
+    }
+
+    pub fn slowdown(&self, client: usize) -> f64 {
+        self.slowdowns[client]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency_and_throughput() {
+        let link = LinkModel {
+            bytes_per_s: 1e6,
+            latency_s: 0.01,
+        };
+        assert!((link.transfer_time(1_000_000) - 1.01).abs() < 1e-9);
+        assert!((link.transfer_time(0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_bytes_is_4_per_param() {
+        assert_eq!(CommModel::model_bytes(1000), 4000);
+    }
+
+    #[test]
+    fn scaffold_payload_doubles_uplink() {
+        let m = CommModel::edge_default();
+        let plain = m.client_bytes_per_round(10_000, 5, 1.0);
+        let scaffold = m.client_bytes_per_round(10_000, 5, 2.0);
+        assert!(scaffold > plain);
+        // uploads double, downloads unchanged.
+        let model = CommModel::model_bytes(10_000) as f64;
+        assert_eq!((scaffold - plain) as f64, model * 5.0);
+    }
+
+    #[test]
+    fn wall_clock_is_dominated_by_slowest_group_and_client() {
+        let m = CommModel::edge_default();
+        let fast = vec![vec![1.0, 1.0], vec![1.0, 1.0]];
+        let straggling = vec![vec![1.0, 10.0], vec![1.0, 1.0]];
+        let t_fast = m.global_round_wall_clock(&fast, 10_000, 5, 1.0);
+        let t_slow = m.global_round_wall_clock(&straggling, 10_000, 5, 1.0);
+        assert!(t_slow > t_fast + 40.0, "{t_fast} -> {t_slow}");
+    }
+
+    #[test]
+    fn hierarchy_beats_flat_cloud_upload() {
+        // The HFL scalability argument: per global round only |S_t| group
+        // models cross the WAN, not every client model.
+        let m = CommModel::edge_default();
+        let params = 20_000;
+        let clients_per_group = 6;
+        let groups = 4;
+        let hierarchical_wan = groups as u64 * m.group_cloud_bytes(params);
+        let flat_wan = (groups * clients_per_group) as u64 * 2 * CommModel::model_bytes(params);
+        assert!(hierarchical_wan < flat_wan / 2);
+    }
+
+    #[test]
+    fn straggler_model_marks_expected_fraction() {
+        let s = StragglerModel::heavy_tail(100, 0.1, 4.0, 7);
+        let slow = (0..100).filter(|&c| s.slowdown(c) > 1.0).count();
+        assert_eq!(slow, 10);
+        let u = StragglerModel::uniform(5);
+        assert!((0..5).all(|c| u.slowdown(c) == 1.0));
+    }
+
+    #[test]
+    fn straggler_selection_is_seed_deterministic() {
+        let a = StragglerModel::heavy_tail(50, 0.2, 3.0, 1);
+        let b = StragglerModel::heavy_tail(50, 0.2, 3.0, 1);
+        let c = StragglerModel::heavy_tail(50, 0.2, 3.0, 2);
+        let picks =
+            |s: &StragglerModel| (0..50).filter(|&i| s.slowdown(i) > 1.0).collect::<Vec<_>>();
+        assert_eq!(picks(&a), picks(&b));
+        assert_ne!(picks(&a), picks(&c));
+    }
+}

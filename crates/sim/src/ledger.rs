@@ -1,0 +1,183 @@
+//! Accumulates the total learning cost of Eq. 5 over a training run.
+//!
+//! `O = Σ_t Σ_{g∈S_t} K · Σ_{c_i∈g} (O_g(|g|) + E·H_i(n_i))`
+//!
+//! The trainer charges the ledger once per *(global round, group)*; the
+//! ledger applies the `K` group-round multiplier and keeps a
+//! training-vs-group-ops breakdown so experiments can report where the
+//! budget went (the paper's Fig. 2(a) motivation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{CostModel, GroupOpKind};
+
+/// Where the emulated seconds went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Local-training seconds (`E·H_i` terms).
+    pub training: f64,
+    /// Group-operation seconds (`O_g` terms).
+    pub group_ops: f64,
+}
+
+impl CostBreakdown {
+    pub fn total(&self) -> f64 {
+        self.training + self.group_ops
+    }
+}
+
+/// Running cost account for one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostLedger {
+    model: CostModel,
+    /// Group operations performed in every group round.
+    ops: Vec<GroupOpKind>,
+    breakdown: CostBreakdown,
+    /// Total after each completed global round (for accuracy-vs-cost plots).
+    round_totals: Vec<f64>,
+}
+
+impl CostLedger {
+    /// Creates a ledger charging with `model`, performing `ops` once per
+    /// group round.
+    pub fn new(model: CostModel, ops: Vec<GroupOpKind>) -> Self {
+        Self {
+            model,
+            ops,
+            breakdown: CostBreakdown::default(),
+            round_totals: Vec::new(),
+        }
+    }
+
+    /// Charges one group's participation in one global round: `K` group
+    /// rounds, each with `E` local epochs per client.
+    pub fn charge_group(
+        &mut self,
+        client_samples: &[usize],
+        group_rounds: usize,
+        local_rounds: usize,
+    ) {
+        let g = client_samples.len();
+        if g == 0 {
+            return;
+        }
+        let per_client_ops: f64 = self.ops.iter().map(|&k| self.model.group_op(k, g)).sum();
+        let ops_cost = group_rounds as f64 * g as f64 * per_client_ops;
+        let train_cost: f64 = group_rounds as f64
+            * local_rounds as f64
+            * client_samples
+                .iter()
+                .map(|&n| self.model.training(n))
+                .sum::<f64>();
+        self.breakdown.group_ops += ops_cost;
+        self.breakdown.training += train_cost;
+    }
+
+    /// Marks the end of a global round, snapshotting the running total.
+    pub fn end_round(&mut self) {
+        self.round_totals.push(self.total());
+    }
+
+    /// Total emulated seconds so far.
+    pub fn total(&self) -> f64 {
+        self.breakdown.total()
+    }
+
+    /// The training/group-op split.
+    pub fn breakdown(&self) -> CostBreakdown {
+        self.breakdown
+    }
+
+    /// Cumulative cost after each completed global round.
+    pub fn round_totals(&self) -> &[f64] {
+        &self.round_totals
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The group operations charged per group round.
+    pub fn ops(&self) -> &[GroupOpKind] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Task;
+
+    #[test]
+    fn charge_matches_eq5_manual_computation() {
+        let model = CostModel::for_task(Task::Vision);
+        let ops = vec![
+            GroupOpKind::SecureAggregation,
+            GroupOpKind::BackdoorDetection,
+        ];
+        let mut ledger = CostLedger::new(model, ops.clone());
+        let samples = [10usize, 40];
+        let (k, e) = (5usize, 2usize);
+        ledger.charge_group(&samples, k, e);
+
+        let og: f64 = ops.iter().map(|&o| model.group_op(o, 2)).sum();
+        let want: f64 = k as f64
+            * samples
+                .iter()
+                .map(|&n| og + e as f64 * model.training(n))
+                .sum::<f64>();
+        assert!((ledger.total() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let mut ledger = CostLedger::new(
+            CostModel::for_task(Task::Speech),
+            vec![GroupOpKind::SecureAggregation],
+        );
+        ledger.charge_group(&[5, 6, 7], 3, 2);
+        ledger.charge_group(&[20], 3, 2);
+        let b = ledger.breakdown();
+        assert!((b.total() - ledger.total()).abs() < 1e-12);
+        assert!(b.training > 0.0 && b.group_ops > 0.0);
+    }
+
+    #[test]
+    fn round_totals_are_nondecreasing() {
+        let mut ledger = CostLedger::new(
+            CostModel::for_task(Task::Vision),
+            vec![GroupOpKind::SecureAggregation],
+        );
+        for r in 0..5 {
+            ledger.charge_group(&[10 + r, 20], 2, 1);
+            ledger.end_round();
+        }
+        let totals = ledger.round_totals();
+        assert_eq!(totals.len(), 5);
+        for w in totals.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn empty_group_charges_nothing() {
+        let mut ledger = CostLedger::new(CostModel::for_task(Task::Vision), vec![]);
+        ledger.charge_group(&[], 5, 5);
+        assert_eq!(ledger.total(), 0.0);
+    }
+
+    #[test]
+    fn larger_groups_pay_superlinear_group_ops() {
+        let model = CostModel::for_task(Task::Vision);
+        let cost_for = |g: usize| {
+            let mut ledger = CostLedger::new(model, vec![GroupOpKind::SecureAggregation]);
+            ledger.charge_group(&vec![10; g], 1, 0);
+            ledger.breakdown().group_ops
+        };
+        let c5 = cost_for(5);
+        let c20 = cost_for(20);
+        // 4× the clients but far more than 4× the group-op cost.
+        assert!(c20 > 8.0 * c5, "c5={c5} c20={c20}");
+    }
+}

@@ -1,0 +1,216 @@
+//! Seeded random initialization and sampling primitives.
+//!
+//! Everything random in the reproduction flows through ChaCha8 seeded RNGs so
+//! experiments are bit-reproducible. Besides weight initializers, this module
+//! implements the distribution samplers the data pipeline needs but that the
+//! allowed crate set does not provide: standard normal (Box–Muller), Gamma
+//! (Marsaglia–Tsang), and Dirichlet (normalized Gammas). Dirichlet(α) label
+//! skew is the paper's central non-IID knob (§7.2).
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::{Matrix, Scalar};
+
+/// The crate-standard deterministic RNG.
+pub type GflRng = ChaCha8Rng;
+
+/// Creates the standard deterministic RNG from a seed.
+pub fn rng(seed: u64) -> GflRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Derives an independent child RNG stream; used to give each client its own
+/// reproducible stream regardless of scheduling order.
+pub fn child_rng(rng: &mut GflRng, stream: u64) -> GflRng {
+    let mut seed = [0u8; 32];
+    rng.fill_bytes(&mut seed);
+    // Mix the stream id into the seed so children with the same parent state
+    // but different ids diverge.
+    for (i, b) in stream.to_le_bytes().iter().enumerate() {
+        seed[i] ^= b;
+    }
+    ChaCha8Rng::from_seed(seed)
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> Scalar {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        return (r * theta.cos()) as Scalar;
+    }
+}
+
+/// Samples `N(mean, std²)`.
+pub fn normal(rng: &mut impl Rng, mean: Scalar, std: Scalar) -> Scalar {
+    mean + std * standard_normal(rng)
+}
+
+/// Samples Gamma(shape, 1) via Marsaglia–Tsang; handles shape < 1 via the
+/// boost `Gamma(a) = Gamma(a+1) · U^{1/a}`.
+pub fn gamma(rng: &mut impl Rng, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng) as f64;
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Samples a Dirichlet(α·1) distribution of dimension `dim`.
+///
+/// Smaller `alpha` concentrates mass on few coordinates — exactly the
+/// label-skew behaviour the paper sweeps (α ∈ {0.01, 0.1, 0.5, 1.0}).
+pub fn dirichlet_symmetric(rng: &mut impl Rng, alpha: f64, dim: usize) -> Vec<f64> {
+    assert!(dim > 0, "dirichlet dimension must be positive");
+    let mut draws: Vec<f64> = (0..dim).map(|_| gamma(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // Degenerate draw (possible for very small alpha in f64): put all
+        // mass on a uniformly random coordinate, matching the alpha→0 limit.
+        let hot = rng.gen_range(0..dim);
+        draws.iter_mut().for_each(|d| *d = 0.0);
+        draws[hot] = 1.0;
+        return draws;
+    }
+    draws.iter_mut().for_each(|d| *d /= sum);
+    draws
+}
+
+/// He (Kaiming) initialization for a `fan_out × fan_in` weight matrix:
+/// `N(0, 2/fan_in)`. Appropriate for ReLU networks.
+pub fn he_matrix(rng: &mut impl Rng, fan_out: usize, fan_in: usize) -> Matrix {
+    let std = (2.0 / fan_in.max(1) as Scalar).sqrt();
+    Matrix::from_fn(fan_out, fan_in, |_, _| normal(rng, 0.0, std))
+}
+
+/// Xavier/Glorot uniform initialization: `U(-l, l)`, `l = sqrt(6/(in+out))`.
+pub fn xavier_matrix(rng: &mut impl Rng, fan_out: usize, fan_in: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as Scalar).sqrt();
+    Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// Fills a slice with `N(0, std²)` samples.
+pub fn fill_normal(rng: &mut impl Rng, std: Scalar, out: &mut [Scalar]) {
+    for o in out.iter_mut() {
+        *o = normal(rng, 0.0, std);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(42);
+        let mut b = rng(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn child_streams_differ() {
+        let mut parent1 = rng(7);
+        let mut parent2 = rng(7);
+        let mut c0 = child_rng(&mut parent1, 0);
+        // Same parent state, different stream id → different stream.
+        let mut c1 = child_rng(&mut parent2, 1);
+        let same: usize = (0..64).filter(|_| c0.next_u64() == c1.next_u64()).count();
+        assert!(same < 4, "child streams should diverge");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(1);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng(2);
+        for shape in [0.3f64, 1.0, 2.5, 10.0] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.12 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_skews_with_alpha() {
+        let mut r = rng(3);
+        for alpha in [0.01f64, 0.1, 1.0, 10.0] {
+            let p = dirichlet_symmetric(&mut r, alpha, 10);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha {alpha}: sum {sum}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+        // Average max-coordinate should drop as alpha grows (less skew).
+        let avg_max = |alpha: f64, r: &mut GflRng| {
+            (0..200)
+                .map(|_| {
+                    dirichlet_symmetric(r, alpha, 10)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / 200.0
+        };
+        let skewed = avg_max(0.05, &mut r);
+        let flat = avg_max(10.0, &mut r);
+        assert!(
+            skewed > flat + 0.3,
+            "skewed {skewed} should dominate flat {flat}"
+        );
+    }
+
+    #[test]
+    fn he_matrix_variance_scales_with_fan_in() {
+        let mut r = rng(4);
+        let m = he_matrix(&mut r, 64, 128);
+        let var: f32 = m.as_slice().iter().map(|x| x * x).sum::<f32>() / m.len() as f32;
+        let expected = 2.0 / 128.0;
+        assert!(
+            (var - expected).abs() < expected * 0.3,
+            "var {var}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn xavier_matrix_respects_limits() {
+        let mut r = rng(5);
+        let m = xavier_matrix(&mut r, 16, 8);
+        let limit = (6.0f32 / 24.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= limit));
+    }
+}

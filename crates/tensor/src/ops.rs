@@ -1,0 +1,320 @@
+//! BLAS-1 style kernels over plain `f32` slices.
+//!
+//! These are the innermost loops of local SGD: parameter updates are axpy,
+//! FedProx's proximal term is axpy against the anchor, SCAFFOLD's control
+//! variates are two more axpys, and secure-aggregation masking is a slice
+//! add. All kernels are branch-free over the body and written so LLVM
+//! autovectorizes them; none allocates.
+
+use crate::Scalar;
+
+/// `y += alpha * x` (the classic axpy).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+pub fn axpby(alpha: Scalar, x: &[Scalar], beta: Scalar, y: &mut [Scalar]) {
+    assert_eq!(x.len(), y.len(), "axpby: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Dot product.
+pub fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Four partial sums help LLVM keep independent accumulator chains.
+    let mut acc = [0.0f32; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in chunks * 4..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Scales every element: `x *= alpha`.
+pub fn scale(alpha: Scalar, x: &mut [Scalar]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise add: `y += x`.
+pub fn add_assign(x: &[Scalar], y: &mut [Scalar]) {
+    axpy(1.0, x, y);
+}
+
+/// Element-wise subtract: `y -= x`.
+pub fn sub_assign(x: &[Scalar], y: &mut [Scalar]) {
+    axpy(-1.0, x, y);
+}
+
+/// Fills `out` with `a - b`.
+pub fn sub_into(a: &[Scalar], b: &[Scalar], out: &mut [Scalar]) {
+    assert_eq!(a.len(), b.len(), "sub_into: length mismatch");
+    assert_eq!(a.len(), out.len(), "sub_into: output length mismatch");
+    for ((o, &ai), &bi) in out.iter_mut().zip(a.iter()).zip(b.iter()) {
+        *o = ai - bi;
+    }
+}
+
+/// Squared L2 norm.
+pub fn norm_sq(x: &[Scalar]) -> Scalar {
+    dot(x, x)
+}
+
+/// L2 norm.
+pub fn norm(x: &[Scalar]) -> Scalar {
+    norm_sq(x).sqrt()
+}
+
+/// Cosine similarity between two vectors; 0.0 when either has zero norm.
+pub fn cosine_similarity(x: &[Scalar], y: &[Scalar]) -> Scalar {
+    let nx = norm(x);
+    let ny = norm(y);
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    (dot(x, y) / (nx * ny)).clamp(-1.0, 1.0)
+}
+
+/// In-place ReLU.
+pub fn relu(x: &mut [Scalar]) {
+    for xi in x.iter_mut() {
+        if *xi < 0.0 {
+            *xi = 0.0;
+        }
+    }
+}
+
+/// Backprop through ReLU: zeroes gradient entries where the forward
+/// activation was non-positive.
+pub fn relu_backward(activation: &[Scalar], grad: &mut [Scalar]) {
+    assert_eq!(
+        activation.len(),
+        grad.len(),
+        "relu_backward: length mismatch"
+    );
+    for (g, &a) in grad.iter_mut().zip(activation.iter()) {
+        if a <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically-stable in-place softmax over one logit vector.
+pub fn softmax(x: &mut [Scalar]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().fold(Scalar::NEG_INFINITY, |m, &v| m.max(v));
+    let mut sum = 0.0;
+    for xi in x.iter_mut() {
+        *xi = (*xi - max).exp();
+        sum += *xi;
+    }
+    let inv = 1.0 / sum;
+    for xi in x.iter_mut() {
+        *xi *= inv;
+    }
+}
+
+/// Index of the maximum element (first one on ties). Panics on empty input.
+pub fn argmax(x: &[Scalar]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = x[0];
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Cross-entropy `-ln(p[target])` from a probability vector, clamped away
+/// from zero for stability.
+pub fn cross_entropy(probs: &[Scalar], target: usize) -> Scalar {
+    assert!(target < probs.len(), "target out of range");
+    -(probs[target].max(1e-12)).ln()
+}
+
+/// Clips the vector to `max_norm` in place; returns the scaling applied
+/// (1.0 when no clipping occurred).
+pub fn clip_norm(x: &mut [Scalar], max_norm: Scalar) -> Scalar {
+    let n = norm(x);
+    if n <= max_norm || n == 0.0 {
+        return 1.0;
+    }
+    let s = max_norm / n;
+    scale(s, x);
+    s
+}
+
+/// Weighted accumulate of many slices into `out`: `out = Σ w_i * xs_i`.
+///
+/// This is the aggregation kernel used at the group and global levels
+/// (Lines 14–15 of Algorithm 1). `out` is fully overwritten.
+pub fn weighted_sum_into(xs: &[&[Scalar]], weights: &[Scalar], out: &mut [Scalar]) {
+    assert_eq!(xs.len(), weights.len(), "weighted_sum: arity mismatch");
+    out.fill(0.0);
+    for (&x, &w) in xs.iter().zip(weights.iter()) {
+        axpy(w, x, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::assert_close;
+    use proptest::prelude::*;
+
+    #[test]
+    fn axpy_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn axpby_matches_manual() {
+        let x = [1.0, -2.0];
+        let mut y = [3.0, 4.0];
+        axpby(0.5, &x, 2.0, &mut y);
+        assert_eq!(y, [6.5, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy: length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut y = [0.0];
+        axpy(1.0, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four() {
+        let x: Vec<f32> = (1..=7).map(|i| i as f32).collect();
+        let y = vec![1.0; 7];
+        assert_eq!(dot(&x, &y), 28.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let mut x = vec![1.0, 3.0, 2.0];
+        softmax(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x[1] > x[2] && x[2] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let mut a = vec![-1.0, 0.0, 2.0];
+        relu(&mut a);
+        assert_eq!(a, vec![0.0, 0.0, 2.0]);
+        let mut g = vec![1.0, 1.0, 1.0];
+        relu_backward(&a, &mut g);
+        assert_eq!(g, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn clip_norm_only_when_needed() {
+        let mut x = vec![3.0, 4.0];
+        assert_eq!(clip_norm(&mut x, 10.0), 1.0);
+        assert_eq!(x, vec![3.0, 4.0]);
+        let s = clip_norm(&mut x, 1.0);
+        assert!((s - 0.2).abs() < 1e-6);
+        assert!((norm(&x) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_similarity_bounds_and_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+        let s = cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]);
+        assert!((s - 1.0).abs() < 1e-6);
+        let o = cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]);
+        assert!((o + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_sum_matches_manual() {
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        let mut out = [9.0, 9.0];
+        weighted_sum_into(&[&a, &b], &[0.25, 0.75], &mut out);
+        assert_close(&out, &[0.25, 0.75], 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_is_zero_for_confident_correct() {
+        assert!(cross_entropy(&[0.0, 1.0], 1) < 1e-6);
+        assert!(cross_entropy(&[1.0, 0.0], 1) > 10.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_commutative(v in proptest::collection::vec(-100.0f32..100.0, 0..64)) {
+            let w: Vec<f32> = v.iter().rev().cloned().collect();
+            let d1 = dot(&v, &w);
+            let d2 = dot(&w, &v);
+            prop_assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
+        }
+
+        #[test]
+        fn prop_axpy_zero_alpha_is_identity(v in proptest::collection::vec(-1e3f32..1e3, 1..32)) {
+            let mut y = v.clone();
+            let x = vec![1.0f32; v.len()];
+            axpy(0.0, &x, &mut y);
+            prop_assert_eq!(y, v);
+        }
+
+        #[test]
+        fn prop_softmax_is_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..32)) {
+            let mut x = v;
+            softmax(&mut x);
+            prop_assert!(x.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+            let s: f32 = x.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+
+        #[test]
+        fn prop_norm_triangle_inequality(
+            a in proptest::collection::vec(-100.0f32..100.0, 1..32),
+        ) {
+            let b: Vec<f32> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+            let mut sum = a.clone();
+            add_assign(&b, &mut sum);
+            prop_assert!(norm(&sum) <= norm(&a) + norm(&b) + 1e-3);
+        }
+    }
+}
