@@ -95,11 +95,7 @@ mod tests {
     use gfl_data::SyntheticSpec;
     use gfl_tensor::{init, ops};
 
-    fn drift_norm(
-        strategy: &dyn LocalUpdate,
-        n_samples: usize,
-        epochs: usize,
-    ) -> f32 {
+    fn drift_norm(strategy: &dyn LocalUpdate, n_samples: usize, epochs: usize) -> f32 {
         let data = SyntheticSpec::tiny().generate(200, 1);
         let model = gfl_nn::zoo::tiny(4, 3);
         let start = model.init_params(&mut init::rng(2));

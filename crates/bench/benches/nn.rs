@@ -20,13 +20,7 @@ fn bench_nn(c: &mut Criterion) {
         group.throughput(Throughput::Elements(32));
         group.bench_function(BenchmarkId::new("loss_and_grad_b32", "speech_cnn"), |b| {
             b.iter(|| {
-                black_box(net.loss_and_grad(
-                    &params,
-                    &mb.features,
-                    &mb.labels,
-                    &mut grad,
-                    &mut ws,
-                ))
+                black_box(net.loss_and_grad(&params, &mb.features, &mb.labels, &mut grad, &mut ws))
             });
         });
     }

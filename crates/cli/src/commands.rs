@@ -13,6 +13,7 @@ use gfl_core::local::FedAvg;
 use gfl_core::sampling::{AggregationWeighting, SamplingStrategy};
 use gfl_core::theory::{self, TheoremInputs};
 use gfl_data::{ClientPartition, Dataset, PartitionSpec, SyntheticSpec};
+use gfl_faults::{FaultPlan, FaultPolicy, OutageWindow};
 use gfl_nn::sgd::LrSchedule;
 use gfl_sim::{CostModel, GroupOpKind, Task, Topology};
 
@@ -82,6 +83,16 @@ TRAINING:
   --secure           route aggregation through real SecAgg
   --dropout F        per-group-round client dropout     [0.0]
 
+FAULT INJECTION (deterministic; see docs/FAULTS.md):
+  --faults none|moderate   preset fault plan            [none]
+  --fault-seed N     fault decision seed                [--seed]
+  --straggler-frac F --straggler-factor F               plan overrides
+  --crash-prob F --corrupt-prob F --upload-fail F       plan overrides
+  --outage E:FROM:UNTIL    edge E dark for rounds [FROM, UNTIL)
+  --quorum F         min surviving-upload fraction      [0.25]
+  --deadline-factor F      straggler cut threshold      [2.5]
+  --max-retries N    edge->cloud upload retries         [3]
+
 OUTPUT:
   --csv PATH         write the trajectory as CSV
   --checkpoint PATH  write a resumable snapshot at the end";
@@ -135,9 +146,11 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         eval_every: args.get("eval-every", 2, "int")?,
         seed,
         task,
-        cost_budget: args.get_opt("budget").map(|b| b.parse()).transpose().map_err(
-            |_| ParseError::BadValue("budget".into(), "?".into(), "float"),
-        )?,
+        cost_budget: args
+            .get_opt("budget")
+            .map(|b| b.parse())
+            .transpose()
+            .map_err(|_| ParseError::BadValue("budget".into(), "?".into(), "float"))?,
         secure_aggregation: args.get_flag("secure")?,
         dropout_prob: args.get("dropout", 0.0f64, "float")?,
     };
@@ -146,12 +159,17 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let mu: f32 = args.get("mu", 0.1, "float")?;
     let csv_path = args.get_opt("csv");
     let checkpoint_path = args.get_opt("checkpoint");
+    let faults = parse_faults(&args, seed)?;
     args.reject_unknown()?;
 
     // --- model: pick by feature dimensionality ---
     let model = model_for(&train, task);
     let param_count = model.param_len();
-    let trainer = Trainer::new(config.clone(), model, train, partition, test);
+    let mut trainer = Trainer::new(config.clone(), model, train, partition, test);
+    let faults_on = faults.is_some();
+    if let Some((plan, policy)) = faults {
+        trainer = trainer.with_faults(plan, policy, &topology);
+    }
 
     writeln!(
         out,
@@ -189,6 +207,9 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         )?;
     }
     writeln!(out, "\nbest accuracy: {:.4}", history.best_accuracy())?;
+    if faults_on {
+        writeln!(out, "faults: {}", history.fault_summary())?;
+    }
 
     if let Some(path) = csv_path {
         std::fs::write(&path, history.to_csv())?;
@@ -425,6 +446,81 @@ fn parse_grouping(args: &Args) -> Result<Box<dyn GroupingAlgorithm>, CommandErro
     })
 }
 
+/// Builds the fault plan + policy from `--faults` and its override flags.
+/// Returns `None` when no fault option was given (clean run, zero cost).
+fn parse_faults(args: &Args, seed: u64) -> Result<Option<(FaultPlan, FaultPolicy)>, CommandError> {
+    let preset = args.get_str("faults", "none");
+    let fault_seed: u64 = args.get("fault-seed", seed, "int")?;
+    let mut plan = match preset.as_str() {
+        "none" => FaultPlan::none(),
+        "moderate" => FaultPlan::moderate(fault_seed),
+        other => {
+            return Err(CommandError::Invalid(format!(
+                "unknown --faults '{other}' (none|moderate)"
+            )))
+        }
+    };
+    plan.seed = fault_seed;
+    let mut any = preset != "none";
+    {
+        let overrides: [(&str, &mut f64); 5] = [
+            ("straggler-frac", &mut plan.straggler_fraction),
+            ("straggler-factor", &mut plan.straggler_factor),
+            ("crash-prob", &mut plan.crash_prob),
+            ("corrupt-prob", &mut plan.corrupt_prob),
+            ("upload-fail", &mut plan.upload_fail_prob),
+        ];
+        for (key, field) in overrides {
+            if let Some(v) = args.get_opt(key) {
+                *field = v
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(key.into(), v, "float"))?;
+                any = true;
+            }
+        }
+    }
+    if let Some(spec) = args.get_opt("outage") {
+        let parts: Vec<Option<usize>> = spec.split(':').map(|p| p.parse().ok()).collect();
+        match parts.as_slice() {
+            [Some(edge), Some(from), Some(until)] if from < until => {
+                plan.edge_outages.push(OutageWindow {
+                    edge: *edge,
+                    from_round: *from,
+                    until_round: *until,
+                });
+                any = true;
+            }
+            _ => return Err(ParseError::BadValue("outage".into(), spec, "edge:from:until").into()),
+        }
+    }
+    let probs = [
+        ("straggler-frac", plan.straggler_fraction),
+        ("crash-prob", plan.crash_prob),
+        ("corrupt-prob", plan.corrupt_prob),
+        ("upload-fail", plan.upload_fail_prob),
+    ];
+    for (key, p) in probs {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CommandError::Invalid(format!(
+                "--{key} must be a probability, got {p}"
+            )));
+        }
+    }
+    if plan.straggler_factor < 1.0 {
+        return Err(CommandError::Invalid(
+            "--straggler-factor must be >= 1.0 (slowdowns cannot speed up)".into(),
+        ));
+    }
+    let defaults = FaultPolicy::default();
+    let policy = FaultPolicy {
+        deadline_factor: args.get("deadline-factor", defaults.deadline_factor, "float")?,
+        quorum_fraction: args.get("quorum", defaults.quorum_fraction, "float")?,
+        max_retries: args.get("max-retries", defaults.max_retries, "int")?,
+        ..defaults
+    };
+    Ok(any.then_some((plan, policy)))
+}
+
 fn load_or_generate(args: &Args, task: Task, seed: u64) -> Result<Dataset, CommandError> {
     if let Some(path) = args.get_opt("data") {
         return gfl_data::load_dataset(&path)
@@ -532,6 +628,35 @@ mod tests {
         );
         r.unwrap();
         assert!(out.contains("best accuracy"), "{out}");
+    }
+
+    #[test]
+    fn simulate_faulted_session_prints_summary() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 3 --k 2 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --faults moderate --fault-seed 9 --crash-prob 0.3",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("faults:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fault_flags() {
+        for flags in [
+            "--faults typhoon",
+            "--crash-prob 1.5",
+            "--straggler-frac 0.2 --straggler-factor 0.5",
+            "--outage 0-1-2",
+        ] {
+            let (r, _) = run_cmd(
+                simulate,
+                &format!("--clients 8 --edges 2 --samples 900 --min-gs 2 {flags}"),
+            );
+            assert!(r.is_err(), "{flags} should be rejected");
+        }
     }
 
     #[test]

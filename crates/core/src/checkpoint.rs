@@ -192,13 +192,7 @@ mod tests {
         let mut cfg = GroupFelConfig::tiny();
         cfg.global_rounds = 6;
         cfg.seed = 77;
-        let trainer = Trainer::new(
-            cfg.clone(),
-            gfl_nn::zoo::tiny(4, 3),
-            train,
-            partition,
-            test,
-        );
+        let trainer = Trainer::new(cfg.clone(), gfl_nn::zoo::tiny(4, 3), train, partition, test);
         let covs: Vec<f32> = groups
             .iter()
             .map(|g| crate::cov::group_cov(&trainer.partition().label_matrix, g))
@@ -206,23 +200,33 @@ mod tests {
         let probs = SamplingStrategy::Random.probabilities(&covs);
 
         // Straight 6 rounds.
-        let mut p_straight = trainer
-            .model()
-            .init_params(&mut gfl_tensor::init::rng(77));
+        let mut p_straight = trainer.model().init_params(&mut gfl_tensor::init::rng(77));
         let mut ledger = trainer.ledger_for(&FedAvg);
         let mut hist = RunHistory::default();
         trainer.run_resumable(
-            &groups, &FedAvg, &probs, &mut p_straight, &mut ledger, &mut hist, 0, 6,
+            &groups,
+            &FedAvg,
+            &probs,
+            &mut p_straight,
+            &mut ledger,
+            &mut hist,
+            0,
+            6,
         );
 
         // 3 rounds, checkpoint to JSON, restore, 3 more.
-        let mut p_half = trainer
-            .model()
-            .init_params(&mut gfl_tensor::init::rng(77));
+        let mut p_half = trainer.model().init_params(&mut gfl_tensor::init::rng(77));
         let mut ledger2 = trainer.ledger_for(&FedAvg);
         let mut hist2 = RunHistory::default();
         trainer.run_resumable(
-            &groups, &FedAvg, &probs, &mut p_half, &mut ledger2, &mut hist2, 0, 3,
+            &groups,
+            &FedAvg,
+            &probs,
+            &mut p_half,
+            &mut ledger2,
+            &mut hist2,
+            0,
+            3,
         );
         let cp = Checkpoint::new(p_half, 3, hist2, cfg, ledger2.total());
         let restored = Checkpoint::from_json(&cp.to_json()).unwrap();

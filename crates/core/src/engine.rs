@@ -18,9 +18,10 @@
 //! factor (§7.1: "different quadratic cost functions for each method").
 
 use gfl_data::{ClientPartition, Dataset, LabelMatrix};
+use gfl_faults::{FaultEvent, FaultInjector, FaultPlan, FaultPolicy};
 use gfl_nn::sgd::LrSchedule;
 use gfl_nn::{Network, Params};
-use gfl_sim::{CostLedger, CostModel, Task, Topology};
+use gfl_sim::{CommModel, CostLedger, CostModel, Task, Topology};
 use gfl_tensor::init;
 use gfl_tensor::{ops, Scalar};
 use rand::Rng;
@@ -141,14 +142,35 @@ pub struct Trainer {
     train: Dataset,
     partition: ClientPartition,
     test: Dataset,
+    faults: Option<FaultState>,
+}
+
+/// Fault-injection context of a faulted run: the decision oracle, the
+/// degradation policy, and the models needed to turn decisions into
+/// wall-clock estimates (straggler deadlines, retry accounting).
+struct FaultState {
+    injector: FaultInjector,
+    policy: FaultPolicy,
+    comm: CommModel,
+    cost: CostModel,
+    edge_of_client: Vec<usize>,
 }
 
 /// Result of one group's work within a global round.
 struct GroupOutcome {
+    /// Global group index (for fault attribution).
+    group: usize,
     params: Params,
     samples: usize,
     train_loss: Scalar,
     members: Vec<usize>,
+    /// Surviving uploads across all `K` group rounds.
+    uploads: usize,
+    /// Sample-weighted surviving uploads across all `K` group rounds
+    /// (out of `K · n_g`); the quorum test's numerator.
+    upload_samples: usize,
+    /// Faults that hit this group, in deterministic (k, member) order.
+    events: Vec<FaultEvent>,
 }
 
 impl Trainer {
@@ -172,7 +194,37 @@ impl Trainer {
             train,
             partition,
             test,
+            faults: None,
         }
+    }
+
+    /// Enables deterministic fault injection for every subsequent run.
+    ///
+    /// The `topology` maps clients to edge servers so outage windows know
+    /// which groups they take down. Fault decisions never consume the
+    /// engine's RNG streams, so a faulted run with `FaultPlan::none()` is
+    /// bit-identical to a clean one, and two faulted runs with the same
+    /// seeds and plan are bit-identical to each other.
+    pub fn with_faults(
+        mut self,
+        plan: FaultPlan,
+        policy: FaultPolicy,
+        topology: &Topology,
+    ) -> Self {
+        let mut edge_of_client = vec![0usize; self.partition.indices.len()];
+        for j in 0..topology.num_edges() {
+            for &c in topology.clients_of(j) {
+                edge_of_client[c] = j;
+            }
+        }
+        self.faults = Some(FaultState {
+            injector: FaultInjector::new(plan),
+            policy,
+            comm: CommModel::edge_default(),
+            cost: CostModel::for_task(self.config.task),
+            edge_of_client,
+        });
+        self
     }
 
     pub fn config(&self) -> &GroupFelConfig {
@@ -316,17 +368,38 @@ impl Trainer {
             // Sampling randomness is a pure function of (seed, t) so that a
             // checkpointed-and-resumed session draws exactly the same
             // groups as an uninterrupted one.
-            let mut rng = init::rng(
-                cfg.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-            );
+            let mut rng = init::rng(cfg.seed ^ (t as u64).wrapping_mul(0xA076_1D64_78BD_642F));
             let sampled = sample_without_replacement(&mut rng, probs, s);
 
+            // Edge outages: a dark edge server takes all of its sampled
+            // groups offline for this round.
+            let mut round_events: Vec<FaultEvent> = Vec::new();
+            let active: Vec<usize> = match &self.faults {
+                Some(fs) => sampled
+                    .iter()
+                    .copied()
+                    .filter(|&gi| {
+                        let edge = fs.edge_of_client[groups[gi][0]];
+                        let down = fs.injector.edge_down(edge, t);
+                        if down {
+                            round_events.push(FaultEvent::EdgeOutage {
+                                round: t,
+                                edge,
+                                group: gi,
+                            });
+                        }
+                        !down
+                    })
+                    .collect(),
+                None => sampled,
+            };
+
             // Lines 7–14: groups train in parallel.
-            let outcomes: Vec<GroupOutcome> = gfl_parallel::par_map(&sampled, |&gi| {
-                self.train_group_impl(params, &groups[gi], strategy, t, lr)
+            let outcomes: Vec<GroupOutcome> = gfl_parallel::par_map(&active, |&gi| {
+                self.train_group_impl(params, &groups[gi], strategy, t, lr, gi)
             });
 
-            // Charge Eq. 5 for every sampled group.
+            // Charge Eq. 5 for every group that attempted the round.
             for o in &outcomes {
                 let sizes: Vec<usize> = o
                     .members
@@ -337,14 +410,76 @@ impl Trainer {
             }
             ledger.end_round();
 
-            // Line 15: global aggregation.
-            let sizes: Vec<usize> = outcomes.iter().map(|o| o.samples).collect();
-            let sampled_probs: Vec<Scalar> = sampled.iter().map(|&gi| probs[gi]).collect();
-            let weights = aggregation_weights(cfg.weighting, &sizes, &sampled_probs, total_samples);
-            let views: Vec<&[Scalar]> = outcomes.iter().map(|o| o.params.as_slice()).collect();
-            ops::weighted_sum_into(&views, &weights, params);
+            // Graceful degradation: the survivor quorum, the non-finite
+            // gate, and edge→cloud upload retries decide which group
+            // models reach Line 15. Clean runs pass every outcome through.
+            let mut included: Vec<&GroupOutcome> = Vec::with_capacity(outcomes.len());
+            for o in &outcomes {
+                round_events.extend(o.events.iter().cloned());
+                if let Some(fs) = &self.faults {
+                    let required = (fs.policy.quorum_fraction
+                        * (cfg.group_rounds * o.samples) as f64)
+                        .ceil() as usize;
+                    if o.upload_samples < required {
+                        round_events.push(FaultEvent::GroupSkipped {
+                            round: t,
+                            group: o.group,
+                            survivors: o.upload_samples,
+                            required,
+                        });
+                        continue;
+                    }
+                    if fs.policy.reject_non_finite && !gfl_defense::is_update_finite(&o.params) {
+                        round_events.push(FaultEvent::CorruptGroupRejected {
+                            round: t,
+                            group: o.group,
+                        });
+                        continue;
+                    }
+                    let failures = fs
+                        .injector
+                        .upload_failures(t, o.group, fs.policy.max_retries);
+                    if failures > 0 {
+                        let payload = fs.comm.group_cloud_bytes(params.len());
+                        let retry = fs.comm.upload_with_retries(
+                            payload,
+                            failures,
+                            fs.policy.max_retries,
+                            fs.policy.backoff_base_s,
+                        );
+                        round_events.push(FaultEvent::UploadRetry {
+                            round: t,
+                            group: o.group,
+                            attempts: retry.attempts,
+                            extra_seconds: retry.seconds,
+                            extra_bytes: retry.bytes,
+                        });
+                        if !retry.delivered {
+                            round_events.push(FaultEvent::UploadLost {
+                                round: t,
+                                group: o.group,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                included.push(o);
+            }
 
-            let participants: Vec<usize> = outcomes
+            // Line 15: global aggregation — held (`x_{t+1} = x_t`, params
+            // stay finite) when no surviving update reached the cloud.
+            if included.iter().all(|o| o.uploads == 0) {
+                round_events.push(FaultEvent::RoundHeld { round: t });
+            } else {
+                let sizes: Vec<usize> = included.iter().map(|o| o.samples).collect();
+                let sampled_probs: Vec<Scalar> = included.iter().map(|o| probs[o.group]).collect();
+                let weights =
+                    aggregation_weights(cfg.weighting, &sizes, &sampled_probs, total_samples);
+                let views: Vec<&[Scalar]> = included.iter().map(|o| o.params.as_slice()).collect();
+                ops::weighted_sum_into(&views, &weights, params);
+            }
+
+            let participants: Vec<usize> = included
                 .iter()
                 .flat_map(|o| o.members.iter().copied())
                 .collect();
@@ -352,6 +487,8 @@ impl Trainer {
 
             let train_loss = outcomes.iter().map(|o| o.train_loss).sum::<Scalar>()
                 / outcomes.len().max(1) as Scalar;
+
+            history.record_faults(round_events);
 
             let over_budget = cfg.cost_budget.is_some_and(|b| ledger.total() >= b);
             let last = t + 1 == start_round + rounds;
@@ -382,7 +519,7 @@ impl Trainer {
         t: usize,
         lr: Scalar,
     ) -> GroupOutcomePublic {
-        let o = self.train_group_impl(global, group, strategy, t, lr);
+        let o = self.train_group_impl(global, group, strategy, t, lr, 0);
         GroupOutcomePublic {
             params: o.params,
             samples: o.samples,
@@ -397,14 +534,40 @@ impl Trainer {
         strategy: &S,
         t: usize,
         lr: Scalar,
+        gi: usize,
     ) -> GroupOutcome {
         let cfg = &self.config;
+        let fs = self.faults.as_ref();
         let n_g = self.group_samples(group).max(1);
         let mut group_params: Params = global.to_vec();
         let mut scratch = LocalScratch::new(&self.model);
         let mut loss_acc = 0.0;
         let mut loss_n = 0u32;
         let mut client_params: Vec<Option<Params>> = vec![None; group.len()];
+        let mut events: Vec<FaultEvent> = Vec::new();
+        let mut uploads = 0usize;
+        let mut upload_samples = 0usize;
+
+        // Straggler deadline for this group: `deadline_factor ×` the
+        // slowest *nominal* client's wall-clock estimate (compute per
+        // Eq. 5's training cost, plus both client↔edge transfers).
+        let deadline = fs.and_then(|fs| {
+            if fs.policy.deadline_factor <= 0.0 {
+                return None;
+            }
+            let transfer = 2.0
+                * fs.comm
+                    .client_edge
+                    .transfer_time(CommModel::model_bytes(global.len()));
+            let slowest = group
+                .iter()
+                .map(|&c| {
+                    fs.cost.training(self.partition.indices[c].len()) * cfg.local_rounds as f64
+                        + transfer
+                })
+                .fold(0.0f64, f64::max);
+            Some((fs.policy.deadline_factor * slowest, transfer))
+        });
 
         for k in 0..cfg.group_rounds {
             for slot in client_params.iter_mut() {
@@ -412,6 +575,40 @@ impl Trainer {
             }
             for (slot, &client) in group.iter().enumerate() {
                 let indices = &self.partition.indices[client];
+                // Injected faults: crashes vanish mid-round, stragglers
+                // past the deadline are cut. Decisions are pure hashes —
+                // they never touch `crng`, so the clean path is
+                // bit-identical with faults compiled in but disabled.
+                if let Some(fs) = fs {
+                    if fs.injector.crashes(t, k, client) {
+                        events.push(FaultEvent::ClientCrash {
+                            round: t,
+                            group_round: k,
+                            group: gi,
+                            client,
+                        });
+                        continue;
+                    }
+                    if let Some((deadline_s, transfer)) = deadline {
+                        let slowdown = fs.injector.slowdown(t, k, client);
+                        if slowdown > 1.0 {
+                            let estimated = fs.cost.training(indices.len())
+                                * cfg.local_rounds as f64
+                                * slowdown
+                                + transfer;
+                            if estimated > deadline_s {
+                                events.push(FaultEvent::StragglerCut {
+                                    round: t,
+                                    group_round: k,
+                                    group: gi,
+                                    client,
+                                    slowdown,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                }
                 // Independent, reproducible stream per (seed, t, k, client).
                 let mut crng = init::rng(
                     cfg.seed
@@ -443,6 +640,23 @@ impl Trainer {
                     loss_acc += loss;
                     loss_n += 1;
                 }
+                if let Some(fs) = fs {
+                    if fs.injector.corrupts(t, k, client) {
+                        // The update arrives garbled: all weights NaN.
+                        for w in p.iter_mut() {
+                            *w = Scalar::NAN;
+                        }
+                    }
+                    if fs.policy.reject_non_finite && !gfl_defense::is_update_finite(&p) {
+                        events.push(FaultEvent::CorruptRejected {
+                            round: t,
+                            group_round: k,
+                            group: gi,
+                            client,
+                        });
+                        continue;
+                    }
+                }
                 client_params[slot] = Some(p);
             }
             // Line 14: group aggregation, weighted by n_i over this round's
@@ -453,6 +667,8 @@ impl Trainer {
                 .filter(|(_, p)| p.is_some())
                 .map(|(&c, _)| self.partition.indices[c].len())
                 .sum();
+            uploads += client_params.iter().filter(|p| p.is_some()).count();
+            upload_samples += n_surv;
             if n_surv == 0 {
                 continue; // every client dropped: group model unchanged
             }
@@ -478,10 +694,14 @@ impl Trainer {
             }
         }
         GroupOutcome {
+            group: gi,
             params: group_params,
             samples: n_g,
             train_loss: loss_acc / loss_n.max(1) as Scalar,
             members: group.to_vec(),
+            uploads,
+            upload_samples,
+            events,
         }
     }
 

@@ -100,18 +100,15 @@ mod proptests {
     /// 0–40, with every client guaranteed at least one sample.
     fn arb_label_matrix() -> impl Strategy<Value = LabelMatrix> {
         (1usize..24, 2usize..8).prop_flat_map(|(clients, labels)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0u32..40, labels),
-                clients,
-            )
-            .prop_map(move |mut counts| {
-                for (i, row) in counts.iter_mut().enumerate() {
-                    if row.iter().all(|&c| c == 0) {
-                        row[i % labels] = 1;
+            proptest::collection::vec(proptest::collection::vec(0u32..40, labels), clients)
+                .prop_map(move |mut counts| {
+                    for (i, row) in counts.iter_mut().enumerate() {
+                        if row.iter().all(|&c| c == 0) {
+                            row[i % labels] = 1;
+                        }
                     }
-                }
-                LabelMatrix::new(counts, labels)
-            })
+                    LabelMatrix::new(counts, labels)
+                })
         })
     }
 

@@ -76,8 +76,8 @@ fn search(
     if i == n {
         // Feasibility: all groups meet MinGS, or the whole population is
         // one undersized group (unavoidable when n < min_gs).
-        let feasible = current.iter().all(|g| g.len() >= min_gs)
-            || (current.len() == 1 && n < min_gs);
+        let feasible =
+            current.iter().all(|g| g.len() >= min_gs) || (current.len() == 1 && n < min_gs);
         if !feasible {
             return;
         }
@@ -113,10 +113,8 @@ mod tests {
     /// complementary pairs (Fig. 4's toy example), total CoV 0.
     #[test]
     fn finds_fig4_optimum() {
-        let labels = gfl_data::LabelMatrix::new(
-            vec![vec![10, 0], vec![0, 10], vec![10, 0], vec![0, 10]],
-            2,
-        );
+        let labels =
+            gfl_data::LabelMatrix::new(vec![vec![10, 0], vec![0, 10], vec![10, 0], vec![0, 10]], 2);
         let (partition, cost) = optimal_grouping(&labels, 2);
         assert_eq!(cost, 0.0, "complementary pairing reaches CoV 0");
         for g in &partition {
@@ -158,8 +156,7 @@ mod tests {
             let (greedy_cost, max_size) = (0..5)
                 .map(|s| {
                     let groups = greedy.form_groups(&labels, &mut init::rng(s));
-                    let cost: f32 =
-                        groups.iter().map(|g| group_cov(&labels, g)).sum();
+                    let cost: f32 = groups.iter().map(|g| group_cov(&labels, g)).sum();
                     let max_size = groups.iter().map(Vec::len).max().unwrap();
                     (cost, max_size)
                 })

@@ -172,9 +172,9 @@ mod tests {
         validate_partition(&groups, 20);
         // Some finalized group must consist purely of tiny-data clients
         // with high CoV — the pathology in action.
-        let pathological = groups.iter().any(|g| {
-            g.iter().all(|&c| c < 10) && histogram_cov(&labels.group_histogram(g)) > 0.5
-        });
+        let pathological = groups
+            .iter()
+            .any(|g| g.iter().all(|&c| c < 10) && histogram_cov(&labels.group_histogram(g)) > 0.5);
         assert!(
             pathological,
             "expected a small-data high-skew group to slip through: {groups:?}"

@@ -1,6 +1,9 @@
 //! Training-run telemetry: the accuracy-vs-round and accuracy-vs-cost
-//! trajectories that every figure in §7 plots.
+//! trajectories that every figure in §7 plots, plus the structured fault
+//! log a degraded run leaves behind (who was cut, which groups were
+//! skipped, what was retried or rejected).
 
+use gfl_faults::{summarize, FaultEvent, FaultSummary};
 use gfl_tensor::Scalar;
 use serde::{Deserialize, Serialize};
 
@@ -19,10 +22,13 @@ pub struct RoundRecord {
     pub train_loss: Scalar,
 }
 
-/// The full trajectory of one run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// The full trajectory of one run: evaluation records plus the per-round
+/// fault log (empty for clean runs). Both are serialized through
+/// checkpoints, so a resumed session carries its complete audit trail.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunHistory {
     records: Vec<RoundRecord>,
+    faults: Vec<FaultEvent>,
 }
 
 impl RunHistory {
@@ -32,6 +38,31 @@ impl RunHistory {
 
     pub fn records(&self) -> &[RoundRecord] {
         &self.records
+    }
+
+    /// Appends one fault event to the log.
+    pub fn record_fault(&mut self, e: FaultEvent) {
+        self.faults.push(e);
+    }
+
+    /// Appends a batch of fault events (one round's worth, in order).
+    pub fn record_faults(&mut self, events: impl IntoIterator<Item = FaultEvent>) {
+        self.faults.extend(events);
+    }
+
+    /// The full fault log, in injection order.
+    pub fn fault_events(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
+    /// Event counts by kind.
+    pub fn fault_summary(&self) -> FaultSummary {
+        summarize(&self.faults)
+    }
+
+    /// Fault events of one global round.
+    pub fn faults_in_round(&self, round: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.faults.iter().filter(move |e| e.round() == round)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -130,6 +161,34 @@ mod tests {
         assert_eq!(h.final_accuracy(), 0.0);
         assert_eq!(h.best_accuracy(), 0.0);
         assert!(h.cost_to_accuracy(0.1).is_none());
+    }
+
+    #[test]
+    fn fault_log_accumulates_and_summarizes() {
+        let mut h = hist();
+        assert!(h.fault_events().is_empty());
+        assert_eq!(h.fault_summary().total(), 0);
+        h.record_fault(FaultEvent::RoundHeld { round: 1 });
+        h.record_faults(vec![
+            FaultEvent::ClientCrash {
+                round: 2,
+                group_round: 0,
+                group: 1,
+                client: 4,
+            },
+            FaultEvent::ClientCrash {
+                round: 2,
+                group_round: 1,
+                group: 1,
+                client: 5,
+            },
+        ]);
+        assert_eq!(h.fault_events().len(), 3);
+        let s = h.fault_summary();
+        assert_eq!(s.rounds_held, 1);
+        assert_eq!(s.crashes, 2);
+        assert_eq!(h.faults_in_round(2).count(), 2);
+        assert_eq!(h.faults_in_round(0).count(), 0);
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub fn read_dataset(reader: impl BufRead) -> Result<Dataset, CsvError> {
         if fields.len() < 2 {
             return Err(CsvError::Parse(
                 line_no,
-                format!("need at least one feature and a label, got {}", fields.len()),
+                format!(
+                    "need at least one feature and a label, got {}",
+                    fields.len()
+                ),
             ));
         }
         // Header detection: first field of the first row isn't numeric.
@@ -83,9 +86,9 @@ pub fn read_dataset(reader: impl BufRead) -> Result<Dataset, CsvError> {
                 .map_err(|_| CsvError::Parse(line_no, format!("bad feature value '{f}'")))?;
             features.push(v as Scalar);
         }
-        let label: u64 = fields[this_dim].parse().map_err(|_| {
-            CsvError::Parse(line_no, format!("bad label '{}'", fields[this_dim]))
-        })?;
+        let label: u64 = fields[this_dim]
+            .parse()
+            .map_err(|_| CsvError::Parse(line_no, format!("bad label '{}'", fields[this_dim])))?;
         raw_labels.push(label);
     }
 

@@ -203,6 +203,30 @@ fn median(xs: &mut [Scalar]) -> Scalar {
     }
 }
 
+/// Whether every parameter of an update is finite — the NaN/±Inf gate the
+/// training engine applies before both aggregation levels. A single
+/// non-finite weight poisons any weighted sum it enters, so corrupt
+/// updates must be rejected wholesale, not clipped.
+pub fn is_update_finite(update: &[Scalar]) -> bool {
+    update.iter().all(|w| w.is_finite())
+}
+
+/// Partitions update indices into `(finite, non_finite)`, preserving
+/// order — the batch form of [`is_update_finite`] for aggregators that
+/// need both the survivors and an audit trail of what was rejected.
+pub fn split_non_finite(updates: &[Vec<Scalar>]) -> (Vec<usize>, Vec<usize>) {
+    let mut finite = Vec::with_capacity(updates.len());
+    let mut non_finite = Vec::new();
+    for (i, u) in updates.iter().enumerate() {
+        if is_update_finite(u) {
+            finite.push(i);
+        } else {
+            non_finite.push(i);
+        }
+    }
+    (finite, non_finite)
+}
+
 /// Attacker: scales an update by `factor` (model-replacement style boost).
 pub fn scale_attack(update: &mut [Scalar], factor: Scalar) {
     ops::scale(factor, update);
@@ -225,13 +249,16 @@ mod tests {
         let base: Vec<f32> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let mut updates = Vec::new();
         for _ in 0..benign {
-            let u: Vec<f32> = base.iter().map(|&b| b + rng.gen_range(-0.1..0.1)).collect();
+            let u: Vec<f32> = base
+                .iter()
+                .map(|&b| b + rng.gen_range(-0.1f32..0.1))
+                .collect();
             updates.push(u);
         }
         for _ in 0..attackers {
             let mut u: Vec<f32> = base
                 .iter()
-                .map(|&b| -b + rng.gen_range(-0.1..0.1))
+                .map(|&b| -b + rng.gen_range(-0.1f32..0.1))
                 .collect();
             scale_attack(&mut u, 10.0);
             updates.push(u);
@@ -317,6 +344,35 @@ mod tests {
         assert_eq!(u, vec![-1.0, 2.0, -3.0]);
         sign_flip_attack(&mut u);
         assert_eq!(u, vec![1.0, -2.0, 3.0]);
+    }
+
+    #[test]
+    fn finite_gate_accepts_normal_updates() {
+        assert!(is_update_finite(&[1.0, -2.5, 0.0, f32::MIN, f32::MAX]));
+        assert!(is_update_finite(&[]));
+    }
+
+    #[test]
+    fn finite_gate_rejects_nan_and_infinities() {
+        assert!(!is_update_finite(&[1.0, f32::NAN, 2.0]));
+        assert!(!is_update_finite(&[f32::INFINITY]));
+        assert!(!is_update_finite(&[0.0, f32::NEG_INFINITY]));
+    }
+
+    #[test]
+    fn split_non_finite_partitions_in_order() {
+        let updates = vec![
+            vec![1.0, 2.0],
+            vec![f32::NAN, 0.0],
+            vec![3.0],
+            vec![f32::INFINITY],
+            vec![-1.0],
+        ];
+        let (finite, bad) = split_non_finite(&updates);
+        assert_eq!(finite, vec![0, 2, 4]);
+        assert_eq!(bad, vec![1, 3]);
+        let (all, none) = split_non_finite(&[]);
+        assert!(all.is_empty() && none.is_empty());
     }
 
     #[test]

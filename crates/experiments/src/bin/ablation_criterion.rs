@@ -55,8 +55,10 @@ fn main() {
         let mean_gamma = groups
             .iter()
             .map(|g| {
-                let sizes: Vec<usize> =
-                    g.iter().map(|&c| world.partition.indices[c].len()).collect();
+                let sizes: Vec<usize> = g
+                    .iter()
+                    .map(|&c| world.partition.indices[c].len())
+                    .collect();
                 theory::gamma(&sizes)
             })
             .sum::<f64>()
@@ -78,7 +80,11 @@ fn main() {
         results.push((name, mean_cov, acc, groups));
     }
 
-    print_series("Ablation: CoV vs variance grouping criterion", &header, &rows);
+    print_series(
+        "Ablation: CoV vs variance grouping criterion",
+        &header,
+        &rows,
+    );
     let path = write_csv("ablation_criterion", &to_csv(&header, &rows));
     println!("\nwrote {}", path.display());
 

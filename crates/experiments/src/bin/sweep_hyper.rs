@@ -65,7 +65,11 @@ fn main() {
         by_config.push(((k, e, s), acc, last.cost / (last.round + 1) as f64));
     }
 
-    print_series("Sensitivity: K (group rounds) × E (epochs) × S (groups)", &header, &rows);
+    print_series(
+        "Sensitivity: K (group rounds) × E (epochs) × S (groups)",
+        &header,
+        &rows,
+    );
     let path = write_csv("sweep_hyper", &to_csv(&header, &rows));
     println!("\nwrote {}", path.display());
 

@@ -71,16 +71,19 @@ fn main() {
             })
             .collect();
         let t = comm.global_round_wall_clock(&compute, params, 5, 1.0);
-        println!("{name:5} {:3} groups  wall-clock {t:9.1}s / round", groups.len());
-        rows.push(vec![
-            name.to_string(),
-            groups.len().to_string(),
-            f(t, 1),
-        ]);
+        println!(
+            "{name:5} {:3} groups  wall-clock {t:9.1}s / round",
+            groups.len()
+        );
+        rows.push(vec![name.to_string(), groups.len().to_string(), f(t, 1)]);
         times.push((name, t));
     }
 
-    print_series("Wall-clock per global round under stragglers", &header, &rows);
+    print_series(
+        "Wall-clock per global round under stragglers",
+        &header,
+        &rows,
+    );
     let path = write_csv("wallclock", &to_csv(&header, &rows));
     println!("\nwrote {}", path.display());
 

@@ -221,9 +221,6 @@ mod tests {
         let a = World::vision(0.1, 9, tiny_scale());
         let b = World::vision(0.1, 9, tiny_scale());
         assert_eq!(a.partition.indices, b.partition.indices);
-        assert_eq!(
-            a.train.features().as_slice(),
-            b.train.features().as_slice()
-        );
+        assert_eq!(a.train.features().as_slice(), b.train.features().as_slice());
     }
 }

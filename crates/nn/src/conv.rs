@@ -74,7 +74,10 @@ impl Cnn1d {
         k2: usize,
         classes: usize,
     ) -> Self {
-        assert!(input_len >= 4 && input_len.is_multiple_of(4), "L must be ×4");
+        assert!(
+            input_len >= 4 && input_len.is_multiple_of(4),
+            "L must be ×4"
+        );
         assert!(k1 % 2 == 1 && k2 % 2 == 1, "kernels must be odd (same-pad)");
         assert!(c1 > 0 && c2 > 0 && classes > 0);
         Self {

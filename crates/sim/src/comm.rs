@@ -109,6 +109,57 @@ impl CommModel {
     }
 }
 
+/// Accounting of one edge→cloud upload under retries (see
+/// [`CommModel::upload_with_retries`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryOutcome {
+    /// Transfer attempts made (initial + retries), successful or not.
+    pub attempts: u32,
+    /// Total wall-clock charged: every attempt's transfer time plus the
+    /// exponential backoff waits between attempts.
+    pub seconds: f64,
+    /// Total bytes put on the wire (failed attempts still move bytes).
+    pub bytes: u64,
+    /// Whether the payload eventually arrived. `false` means the retry
+    /// budget was exhausted and the upload is lost — the caller still owes
+    /// the wall-clock and bytes above.
+    pub delivered: bool,
+}
+
+impl CommModel {
+    /// Charges an edge→cloud upload that fails `failed_attempts` times
+    /// before succeeding (or is lost once failures exceed `max_retries`).
+    ///
+    /// Each attempt pays the full transfer over the edge↔cloud link; after
+    /// the i-th failure the sender backs off `backoff_base_s · 2^i` seconds
+    /// before retrying. Lost uploads (every retry failed) thus charge
+    /// realistic wall-clock and traffic for nothing — the failure mode a
+    /// deployment actually pays for.
+    pub fn upload_with_retries(
+        &self,
+        payload: u64,
+        failed_attempts: u32,
+        max_retries: u32,
+        backoff_base_s: f64,
+    ) -> RetryOutcome {
+        let delivered = failed_attempts <= max_retries;
+        let failures = failed_attempts.min(max_retries + 1);
+        let attempts = if delivered { failures + 1 } else { failures };
+        let transfer = self.edge_cloud.transfer_time(payload);
+        let mut seconds = f64::from(attempts) * transfer;
+        // One backoff wait precedes each retry (attempts − 1 of them).
+        for i in 0..attempts.saturating_sub(1) {
+            seconds += backoff_base_s * f64::from(1u32 << i.min(16));
+        }
+        RetryOutcome {
+            attempts,
+            seconds,
+            bytes: u64::from(attempts) * payload,
+            delivered,
+        }
+    }
+}
+
 /// Multiplicative compute slowdowns per client (device heterogeneity).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StragglerModel {
@@ -196,6 +247,44 @@ mod tests {
         let hierarchical_wan = groups as u64 * m.group_cloud_bytes(params);
         let flat_wan = (groups * clients_per_group) as u64 * 2 * CommModel::model_bytes(params);
         assert!(hierarchical_wan < flat_wan / 2);
+    }
+
+    #[test]
+    fn retry_free_upload_charges_one_transfer() {
+        let m = CommModel::edge_default();
+        let out = m.upload_with_retries(5_000_000, 0, 3, 0.5);
+        assert_eq!(out.attempts, 1);
+        assert!(out.delivered);
+        assert_eq!(out.bytes, 5_000_000);
+        assert!((out.seconds - m.edge_cloud.transfer_time(5_000_000)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retries_back_off_exponentially() {
+        let m = CommModel::edge_default();
+        let transfer = m.edge_cloud.transfer_time(1_000_000);
+        let out = m.upload_with_retries(1_000_000, 2, 3, 0.5);
+        assert_eq!(out.attempts, 3);
+        assert!(out.delivered);
+        assert_eq!(out.bytes, 3_000_000);
+        // 3 transfers + backoffs of 0.5 and 1.0 seconds.
+        assert!((out.seconds - (3.0 * transfer + 0.5 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_retries_lose_the_upload_but_charge_for_it() {
+        let m = CommModel::edge_default();
+        let out = m.upload_with_retries(1_000_000, 4, 3, 0.5);
+        assert!(!out.delivered);
+        // Initial attempt + 3 retries, all failed; no success transfer.
+        assert_eq!(out.attempts, 4);
+        assert_eq!(out.bytes, 4_000_000);
+        // Same wire activity as a delivery on the final retry — only the
+        // outcome of the last attempt differs.
+        let lossless = m.upload_with_retries(1_000_000, 3, 3, 0.5);
+        assert!(lossless.delivered);
+        assert_eq!(lossless.attempts, out.attempts);
+        assert!((lossless.seconds - out.seconds).abs() < 1e-12);
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod cost;
 pub mod ledger;
 pub mod topology;
 
-pub use comm::{CommModel, LinkModel, StragglerModel};
+pub use comm::{CommModel, LinkModel, RetryOutcome, StragglerModel};
 pub use cost::{CostModel, GroupOpKind, LinearCost, QuadraticCost, Task};
 pub use ledger::{CostBreakdown, CostLedger};
 pub use topology::{ClientId, EdgeId, Topology};

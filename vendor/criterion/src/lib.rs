@@ -1,0 +1,263 @@
+//! Vendored, offline, API-compatible subset of `criterion`.
+//!
+//! Implements enough of the criterion API for the workspace's `[[bench]]`
+//! targets (`harness = false`) to compile and run. There is no statistics
+//! engine: each benchmark executes its routine a small fixed number of
+//! times and reports the mean wall-clock time. Under `cargo test`, bench
+//! targets therefore act as smoke tests; run `cargo bench` for the same
+//! (rough) timing output.
+
+use std::time::{Duration, Instant};
+
+/// How many times a routine runs per benchmark. Enough for a coarse timing
+/// signal without upstream criterion's multi-second sampling phases.
+const RUNS: u32 = 3;
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, mirroring upstream's
+/// `function_name/parameter` naming.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Controls how `iter_batched` amortizes setup; accepted and ignored.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    runs: u32,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..RUNS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..RUNS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..RUNS {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.total += start.elapsed();
+            self.runs += 1;
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            runs: 0,
+        };
+        f(&mut bencher);
+        let mean = if bencher.runs > 0 {
+            bencher.total / bencher.runs
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{}/{}: mean {:?} over {} runs",
+            self.name, id, mean, bencher.runs
+        );
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into().id;
+        self.run_one(id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.into().id;
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function(BenchmarkId::from(name), f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function(BenchmarkId::new("range", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("input", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_every_benchmark() {
+        benches();
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("batched");
+        let mut count = 0;
+        group.bench_function("clone-sort", |b| {
+            b.iter_batched(
+                || vec![3, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    count += 1;
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(count > 0);
+    }
+}

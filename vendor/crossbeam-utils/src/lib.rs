@@ -1,0 +1,5 @@
+//! Vendored placeholder for `crossbeam-utils`.
+//!
+//! `gfl-parallel` declares this dependency but does not use any of its
+//! items; the crate exists only so the path dependency resolves offline.
+//! Add real functionality here if the workspace starts using it.

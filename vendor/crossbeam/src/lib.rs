@@ -1,0 +1,118 @@
+//! Vendored, offline, API-compatible subset of `crossbeam`.
+//!
+//! Provides `crossbeam::thread::scope` as a thin wrapper over
+//! `std::thread::scope` (std scoped threads landed in 1.63, after the
+//! original crossbeam API this workspace codes against). The crossbeam
+//! surface differs from std in two ways that matter here:
+//!
+//! - spawned closures receive a `&Scope` argument (for nested spawns);
+//! - `scope()` returns `Err` instead of panicking when an *unjoined*
+//!   child thread panicked.
+
+pub use crossbeam_channel as channel;
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope for spawning borrowing threads; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    // Manual impls: derive would bound them on the lifetimes' types.
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning `Err` on panic.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope, so
+        /// workers can spawn siblings (unused in this workspace but part of
+        /// the crossbeam signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope panics if an unjoined child panicked;
+        // crossbeam reports that as Err. catch_unwind translates. A panic
+        // in `f` itself is also reported as Err, which crossbeam handles
+        // the same way.
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        #[test]
+        fn scope_joins_all_threads() {
+            let counter = AtomicUsize::new(0);
+            let counter = &counter;
+            let sum: usize = super::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|i| {
+                        s.spawn(move |_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                            i * 2
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(counter.load(Ordering::Relaxed), 8);
+            assert_eq!(sum, (0..8).map(|i| i * 2).sum());
+        }
+
+        #[test]
+        fn unjoined_panicking_thread_yields_err() {
+            let result = super::scope(|s| {
+                s.spawn(|_| panic!("child panic"));
+            });
+            assert!(result.is_err());
+        }
+
+        #[test]
+        fn threads_can_borrow_environment() {
+            let data = [1u32, 2, 3, 4];
+            let total: u32 = super::scope(|s| {
+                let h = s.spawn(|_| data.iter().sum::<u32>());
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Vendored ChaCha PRNGs implementing the vendored [`rand`] traits.
+//!
+//! Real ChaCha block functions (8/12/20 rounds) keyed from a 32-byte seed.
+//! Deterministic per seed; the keystream is genuine ChaCha output, though the
+//! word-consumption order is not guaranteed to be bit-identical to the
+//! upstream `rand_chacha` crate (the workspace only relies on per-seed
+//! determinism, never on upstream-exact streams).
+
+use rand::{RngCore, SeedableRng};
+
+/// One ChaCha quarter round on four state words.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha core: 256-bit key, 64-bit block counter, 64-bit nonce.
+#[derive(Debug, Clone)]
+struct ChaChaCore<const ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    /// Buffered keystream of the current block.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means empty.
+    index: usize,
+}
+
+impl<const ROUNDS: usize> ChaChaCore<ROUNDS> {
+    fn new(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Self {
+            key,
+            counter: 0,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        // "expand 32-byte k" constants.
+        let mut state: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.buffer = state;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buffer[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:literal, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: ChaChaCore<$rounds>,
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: Self::Seed) -> Self {
+                Self {
+                    core: ChaChaCore::new(seed),
+                }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds — the workspace standard."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chacha20_known_answer() {
+        // RFC 8439 §2.3.2 test vector: key 00 01 .. 1f, counter from 0 here
+        // (the RFC uses counter 1 and a nonce; we verify the zero-key column
+        // structure differently: just check the stream is stable and spread).
+        let seed: [u8; 32] = std::array::from_fn(|i| i as u8);
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        let words: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        // Stability check: the same seed must always give the same block.
+        let mut rng2 = ChaCha20Rng::from_seed(seed);
+        let words2: Vec<u32> = (0..16).map(|_| rng2.next_u32()).collect();
+        assert_eq!(words, words2);
+        // Spread check: all 16 words distinct for this seed.
+        let unique: std::collections::HashSet<u32> = words.iter().copied().collect();
+        assert_eq!(unique.len(), 16);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,425 @@
+//! Vendored, offline, API-compatible subset of `serde`.
+//!
+//! The workspace's build environment cannot reach crates.io, so this crate
+//! supplies the serialization surface the workspace actually uses: the
+//! `Serialize` / `Deserialize` traits, their derive macros (from the sibling
+//! `serde_derive` stub), and a JSON-shaped [`Value`] tree that
+//! `serde_json` (also vendored) prints and parses.
+//!
+//! Unlike upstream serde's visitor-based zero-copy data model, this subset
+//! routes everything through [`Value`]. That is entirely sufficient for the
+//! workspace (checkpoint files, run summaries, CLI JSON output) and keeps
+//! the implementation small and auditable. Derives accept plain structs
+//! (named, tuple, unit) and enums (unit, tuple, struct variants) without
+//! generics or `#[serde(...)]` attributes — exactly the shapes this
+//! repository defines.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value: the interchange format of the vendored
+/// serde/serde_json pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::I64(n) => Some(*n as f64),
+            Value::U64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can render itself as a [`Value`].
+pub trait SerializeTrait {
+    fn to_value(&self) -> Value;
+}
+
+/// A type constructible from a [`Value`].
+pub trait DeserializeTrait: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called for struct fields absent from the input. `Option<T>` maps
+    /// missing to `None` (upstream serde's behavior); everything else errors.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::custom(format!("missing field `{field}`")))
+    }
+}
+
+// `use serde::{Serialize, Deserialize}` must import BOTH the trait (type
+// namespace) and the derive macro (macro namespace) under one name; Rust
+// permits one re-export per namespace, so the derive re-export above and
+// the trait re-export below coexist.
+mod trait_names {
+    pub use super::DeserializeTrait as Deserialize;
+    pub use super::SerializeTrait as Serialize;
+}
+pub use trait_names::{Deserialize, Serialize};
+
+// --- Serialize implementations for primitives & std types ---
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl SerializeTrait for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl SerializeTrait for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::U64(v as u64) } else { Value::I64(v) }
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl SerializeTrait for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl SerializeTrait for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl SerializeTrait for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl SerializeTrait for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl SerializeTrait for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: SerializeTrait> SerializeTrait for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(SerializeTrait::to_value).collect())
+    }
+}
+
+impl<T: SerializeTrait> SerializeTrait for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(SerializeTrait::to_value).collect())
+    }
+}
+
+impl<T: SerializeTrait, const N: usize> SerializeTrait for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(SerializeTrait::to_value).collect())
+    }
+}
+
+impl<T: SerializeTrait> SerializeTrait for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: SerializeTrait + ?Sized> SerializeTrait for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: SerializeTrait + ?Sized> SerializeTrait for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: SerializeTrait, B: SerializeTrait> SerializeTrait for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: SerializeTrait, B: SerializeTrait, C: SerializeTrait> SerializeTrait for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl SerializeTrait for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// --- Deserialize implementations ---
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl DeserializeTrait for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom(format!("integer {n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::custom(format!(
+                        "expected integer for {}, got {other:?}", stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl DeserializeTrait for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl DeserializeTrait for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl DeserializeTrait for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl DeserializeTrait for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl<T: DeserializeTrait> DeserializeTrait for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: DeserializeTrait> DeserializeTrait for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<A: DeserializeTrait, B: DeserializeTrait> DeserializeTrait for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected 2-tuple array"))?;
+        if arr.len() != 2 {
+            return Err(DeError::custom(format!(
+                "expected 2 elements, got {}",
+                arr.len()
+            )));
+        }
+        Ok((A::from_value(&arr[0])?, B::from_value(&arr[1])?))
+    }
+}
+
+impl DeserializeTrait for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+/// Support machinery for the derive macros — not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, DeserializeTrait, Value};
+
+    /// Extracts and deserializes a named struct field.
+    pub fn field<T: DeserializeTrait>(obj: &[(String, Value)], name: &str) -> Result<T, DeError> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| DeError::custom(format!("field `{name}`: {e}")))
+            }
+            None => T::from_missing(name),
+        }
+    }
+
+    /// Requires a `Value::Object`, or errors with the type name.
+    pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        v.as_object()
+            .map(Vec::as_slice)
+            .ok_or_else(|| DeError::custom(format!("expected object for {ty}, got {v:?}")))
+    }
+
+    /// Requires a `Value::Array` of exactly `n` elements.
+    pub fn expect_tuple<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::custom(format!("expected array for {ty}, got {v:?}")))?;
+        if arr.len() != n {
+            return Err(DeError::custom(format!(
+                "expected {n} elements for {ty}, got {}",
+                arr.len()
+            )));
+        }
+        Ok(arr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        assert_eq!(usize::from_value(&42usize.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let v: Vec<f32> = Vec::from_value(&vec![1.0f32, -2.5].to_value()).unwrap();
+        assert_eq!(v, vec![1.0, -2.5]);
+    }
+
+    #[test]
+    fn option_missing_is_none() {
+        let none: Option<f64> = DeserializeTrait::from_missing("x").unwrap();
+        assert!(none.is_none());
+        assert!(f64::from_missing("x").is_err());
+    }
+
+    #[test]
+    fn value_accessors() {
+        let v = Value::Object(vec![("k".into(), Value::U64(3))]);
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(3));
+        assert!(v.get("absent").is_none());
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn f32_roundtrip_through_f64_is_exact() {
+        for &x in &[0.1f32, 1e-30, 3.4e38, -7.25, f32::MIN_POSITIVE] {
+            let v = x.to_value();
+            assert_eq!(f32::from_value(&v).unwrap(), x);
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Vendored derive macros for the vendored `serde` subset.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment is
+//! offline). Supports the shapes this workspace defines:
+//!
+//! * structs with named fields → JSON objects
+//! * tuple structs (newtype → inner value; n-tuple → array)
+//! * unit structs → `null`
+//! * enums with unit variants → `"Variant"`, tuple variants →
+//!   `{"Variant": value}` / `{"Variant": [..]}`, struct variants →
+//!   `{"Variant": {..}}` (upstream serde's externally-tagged default)
+//!
+//! Generics and `#[serde(...)]` attributes are rejected with a compile
+//! error rather than silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` definition — just the shape, no types (generated
+/// code relies on inference against the real field types).
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]` / doc comments) and visibility modifiers.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // Optional `(crate)` / `(super)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Counts top-level comma-separated items in a token group body.
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    if body.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut saw_any = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => saw_any = true,
+        }
+    }
+    // Trailing comma: `(A, B,)` — if the last meaningful token is a comma,
+    // we over-counted by one.
+    if saw_any {
+        if let Some(TokenTree::Punct(p)) = body.last() {
+            if p.as_char() == ',' {
+                count -= 1;
+            }
+        }
+    }
+    count
+}
+
+/// Extracts field names from a named-field body `{ a: T, b: U, ... }`.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            if i >= body.len() {
+                break;
+            }
+            return Err(format!(
+                "expected field name, got {:?}",
+                body[i].to_string()
+            ));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, got {other:?}")),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        i = skip_attrs_and_vis(body, i);
+        let Some(TokenTree::Ident(name)) = body.get(i) else {
+            if i >= body.len() {
+                break;
+            }
+            return Err(format!(
+                "expected variant name, got {:?}",
+                body[i].to_string()
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&inner)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip optional discriminant `= expr` and the separating comma.
+        while i < body.len() {
+            if let TokenTree::Punct(p) = &body[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "vendored serde_derive does not support generics on `{name}`"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&body),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Shape::Enum {
+                    name,
+                    variants: parse_variants(&body)?,
+                })
+            }
+            other => Err(format!("expected enum body, got {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::NamedStruct { fields, .. } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::String({vname:?}.to_string())"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))])",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let name = match &shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__obj, {f:?})?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __obj = ::serde::__private::expect_object(__v, {name:?})?;\n\
+                     Ok({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __arr = ::serde::__private::expect_tuple(__v, {arity}, {name:?})?;\n\
+                     Ok({name}({}))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Shape::UnitStruct { name } => (name, format!("Ok({name})")),
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("{vname:?} => return Ok({name}::{vname})"));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push(format!(
+                            "{vname:?} => return Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?))"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => {{ let __arr = ::serde::__private::expect_tuple(__inner, {n}, {vname:?})?; return Ok({name}::{vname}({})) }}",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__private::field(__fields, {f:?})?"))
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => {{ let __fields = ::serde::__private::expect_object(__inner, {vname:?})?; return Ok({name}::{vname} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::String(__s) = __v {{\n\
+                         match __s.as_str() {{ {}, _ => {{}} }}\n\
+                     }}",
+                    unit_arms.join(", ")
+                )
+            };
+            let tagged_match = if tagged_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let ::serde::Value::Object(__o) = __v {{\n\
+                         if __o.len() == 1 {{\n\
+                             let (__tag, __inner) = &__o[0];\n\
+                             match __tag.as_str() {{ {}, _ => {{}} }}\n\
+                         }}\n\
+                     }}",
+                    tagged_arms.join(", ")
+                )
+            };
+            (
+                name,
+                format!(
+                    "{unit_match}\n{tagged_match}\n\
+                     Err(::serde::DeError::custom(format!(\"no variant of {name} matches {{__v:?}}\")))"
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
