@@ -5,16 +5,20 @@ use std::io::Write;
 use gfl_baselines::{FedNova, FedProx, Scaffold};
 use gfl_core::checkpoint::Checkpoint;
 use gfl_core::cov::{group_cov, mean_group_cov};
-use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, Trainer};
+use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, RobustAggRule, Trainer};
 use gfl_core::grouping::{
     CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping, VarianceGrouping,
 };
-use gfl_core::local::FedAvg;
+use gfl_core::history::RunHistory;
+use gfl_core::local::{FedAvg, LocalUpdate};
+use gfl_core::membership::{MembershipState, RegroupPolicy};
 use gfl_core::sampling::{AggregationWeighting, SamplingStrategy};
 use gfl_core::theory::{self, TheoremInputs};
+use gfl_core::Group;
 use gfl_data::{ClientPartition, Dataset, PartitionSpec, SyntheticSpec};
-use gfl_faults::{FaultPlan, FaultPolicy, OutageWindow};
+use gfl_faults::{ChurnPlan, FaultPlan, FaultPolicy, OutageWindow};
 use gfl_nn::sgd::LrSchedule;
+use gfl_nn::Params;
 use gfl_sim::{CostModel, GroupOpKind, Task, Topology};
 
 use crate::args::{Args, ParseError};
@@ -93,6 +97,22 @@ FAULT INJECTION (deterministic; see docs/FAULTS.md):
   --deadline-factor F      straggler cut threshold      [2.5]
   --max-retries N    edge->cloud upload retries         [3]
 
+CHURN & SELF-HEALING (deterministic; see docs/FAULTS.md):
+  --churn none|moderate    preset churn plan            [none]
+  --churn-seed N     churn decision seed                [--seed]
+  --churn-horizon N  rounds over which churn unfolds    [--rounds]
+  --depart-frac F --arrive-frac F --flap-prob F         plan overrides
+  --regroup-policy heal|frozen   online regrouping      [heal]
+  --size-floor N     dissolve groups smaller than this  [2]
+  --cov-drift F      CoV drift tolerance before repair  [0.5]
+  --regroup-cooldown N     rounds between group repairs [5]
+  --reform-every N   periodic full re-formation cadence [off]
+
+ROBUST AGGREGATION (group-level, Line 14):
+  --robust-agg mean|median|trimmed-mean|krum|multi-krum [mean]
+  --robust-f N       assumed Byzantine count / trim     [1]
+  --robust-select N  multi-krum selection size          [2]
+
 OUTPUT:
   --csv PATH         write the trajectory as CSV
   --checkpoint PATH  write a resumable snapshot at the end";
@@ -160,7 +180,16 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let csv_path = args.get_opt("csv");
     let checkpoint_path = args.get_opt("checkpoint");
     let faults = parse_faults(&args, seed)?;
+    let churn = parse_churn(&args, seed, config.global_rounds)?;
+    let robust = parse_robust_agg(&args)?;
     args.reject_unknown()?;
+    if robust != RobustAggRule::Mean && config.secure_aggregation {
+        return Err(CommandError::Invalid(
+            "--robust-agg cannot be combined with --secure: the masking \
+             protocol only computes linear functions of the updates"
+                .into(),
+        ));
+    }
 
     // --- model: pick by feature dimensionality ---
     let model = model_for(&train, task);
@@ -170,26 +199,60 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     if let Some((plan, policy)) = faults {
         trainer = trainer.with_faults(plan, policy, &topology);
     }
+    let churn_on = churn.is_some();
+    if let Some((plan, policy)) = churn {
+        trainer = trainer.with_churn(plan, policy);
+    }
+    trainer = trainer.with_robust_agg(robust);
 
     writeln!(
         out,
         "training {method} on {} clients / {} edges ({param_count} params)",
         clients, edges
     )?;
-    let (history, final_params) = match method.as_str() {
-        "fedavg" => trainer.run_returning_params(&groups, &FedAvg, sampling),
-        "fedprox" => trainer.run_returning_params(&groups, &FedProx { mu }, sampling),
-        "scaffold" => {
-            let s = Scaffold::new(param_count, clients);
-            trainer.run_returning_params(&groups, &s, sampling)
-        }
+    let (history, final_params, membership) = match method.as_str() {
+        "fedavg" => run_sim(
+            &trainer,
+            churn_on,
+            &groups,
+            grouping.as_ref(),
+            &topology,
+            &FedAvg,
+            sampling,
+        )?,
+        "fedprox" => run_sim(
+            &trainer,
+            churn_on,
+            &groups,
+            grouping.as_ref(),
+            &topology,
+            &FedProx { mu },
+            sampling,
+        )?,
+        "scaffold" => run_sim(
+            &trainer,
+            churn_on,
+            &groups,
+            grouping.as_ref(),
+            &topology,
+            &Scaffold::new(param_count, clients),
+            sampling,
+        )?,
         "fednova" => {
             let s = FedNova::from_sizes(
                 &trainer.partition().sizes(),
                 config.local_rounds,
                 config.batch_size,
             );
-            trainer.run_returning_params(&groups, &s, sampling)
+            run_sim(
+                &trainer,
+                churn_on,
+                &groups,
+                grouping.as_ref(),
+                &topology,
+                &s,
+                sampling,
+            )?
         }
         other => {
             return Err(CommandError::Invalid(format!(
@@ -210,6 +273,23 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     if faults_on {
         writeln!(out, "faults: {}", history.fault_summary())?;
     }
+    if churn_on {
+        writeln!(out, "regroups: {}", history.regroup_summary())?;
+        let m = membership.as_ref().expect("churned runs return membership");
+        writeln!(
+            out,
+            "final partition: {} groups over {} active clients",
+            m.groups.len(),
+            m.active_members()
+        )?;
+        let transitions = history.regroup_events();
+        if !transitions.is_empty() {
+            writeln!(out, "\n round  transition")?;
+            for e in transitions {
+                writeln!(out, "{:6}  {e}", e.round())?;
+            }
+        }
+    }
 
     if let Some(path) = csv_path {
         std::fs::write(&path, history.to_csv())?;
@@ -217,18 +297,44 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     }
     if let Some(path) = checkpoint_path {
         let last = history.records().last();
-        let cp = Checkpoint::new(
+        let mut cp = Checkpoint::new(
             final_params,
             last.map_or(0, |r| r.round + 1),
             history.clone(),
             config,
             last.map_or(0.0, |r| r.cost),
         );
+        if let Some(m) = membership {
+            cp = cp.with_membership(m);
+        }
         cp.save(&path)
             .map_err(|e| CommandError::Invalid(e.to_string()))?;
         writeln!(out, "wrote {path}")?;
     }
     Ok(())
+}
+
+/// Dispatches one simulation run: static groups for fixed-membership runs,
+/// the self-healing engine when a churn plan is active.
+#[allow(clippy::too_many_arguments)]
+fn run_sim<S: LocalUpdate>(
+    trainer: &Trainer,
+    churned: bool,
+    groups: &[Group],
+    grouping: &dyn GroupingAlgorithm,
+    topology: &Topology,
+    strategy: &S,
+    sampling: SamplingStrategy,
+) -> Result<(RunHistory, Params, Option<MembershipState>), CommandError> {
+    if churned {
+        let (h, p, m) = trainer
+            .run_self_healing(grouping, topology, strategy, sampling)
+            .map_err(|e| CommandError::Invalid(format!("regrouping failed: {e}")))?;
+        Ok((h, p, Some(m)))
+    } else {
+        let (h, p) = trainer.run_returning_params(groups, strategy, sampling);
+        Ok((h, p, None))
+    }
 }
 
 const GROUP_HELP: &str = "\
@@ -521,6 +627,110 @@ fn parse_faults(args: &Args, seed: u64) -> Result<Option<(FaultPlan, FaultPolicy
     Ok(any.then_some((plan, policy)))
 }
 
+/// Builds the churn plan + regroup policy from `--churn` and its override
+/// flags. Returns `None` when no churn option was given (static membership).
+fn parse_churn(
+    args: &Args,
+    seed: u64,
+    rounds: usize,
+) -> Result<Option<(ChurnPlan, RegroupPolicy)>, CommandError> {
+    let preset = args.get_str("churn", "none");
+    let churn_seed: u64 = args.get("churn-seed", seed, "int")?;
+    let mut plan = match preset.as_str() {
+        "none" => ChurnPlan {
+            horizon: rounds.max(1),
+            ..ChurnPlan::none()
+        },
+        "moderate" => ChurnPlan {
+            horizon: rounds.max(1),
+            ..ChurnPlan::moderate(churn_seed)
+        },
+        other => {
+            return Err(CommandError::Invalid(format!(
+                "unknown --churn '{other}' (none|moderate)"
+            )))
+        }
+    };
+    plan.seed = churn_seed;
+    plan.horizon = args.get("churn-horizon", plan.horizon, "int")?;
+    let mut any = preset != "none";
+    {
+        let overrides: [(&str, &mut f64); 3] = [
+            ("depart-frac", &mut plan.departure_fraction),
+            ("arrive-frac", &mut plan.arrival_fraction),
+            ("flap-prob", &mut plan.flap_prob),
+        ];
+        for (key, field) in overrides {
+            if let Some(v) = args.get_opt(key) {
+                *field = v
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(key.into(), v, "float"))?;
+                any = true;
+            }
+        }
+    }
+    for (key, p) in [
+        ("depart-frac", plan.departure_fraction),
+        ("arrive-frac", plan.arrival_fraction),
+        ("flap-prob", plan.flap_prob),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CommandError::Invalid(format!(
+                "--{key} must be a probability, got {p}"
+            )));
+        }
+    }
+    if plan.horizon == 0 {
+        return Err(CommandError::Invalid(
+            "--churn-horizon must be at least 1 round".into(),
+        ));
+    }
+    let defaults = RegroupPolicy::default();
+    let mut policy = match args.get_str("regroup-policy", "heal").as_str() {
+        "heal" => defaults.clone(),
+        "frozen" => RegroupPolicy::frozen(),
+        other => {
+            return Err(CommandError::Invalid(format!(
+                "unknown --regroup-policy '{other}' (heal|frozen)"
+            )))
+        }
+    };
+    policy.size_floor = args.get("size-floor", defaults.size_floor, "int")?;
+    policy.cov_drift = args.get("cov-drift", defaults.cov_drift, "float")?;
+    policy.cooldown = args.get("regroup-cooldown", defaults.cooldown, "int")?;
+    if let Some(v) = args.get_opt("reform-every") {
+        let every: usize = v
+            .parse()
+            .map_err(|_| ParseError::BadValue("reform-every".into(), v, "int"))?;
+        if every == 0 {
+            return Err(CommandError::Invalid(
+                "--reform-every must be at least 1 round".into(),
+            ));
+        }
+        policy.full_reform_every = Some(every);
+    }
+    Ok(any.then_some((plan, policy)))
+}
+
+/// Parses `--robust-agg` into a group-level aggregation rule.
+fn parse_robust_agg(args: &Args) -> Result<RobustAggRule, CommandError> {
+    let f: usize = args.get("robust-f", 1, "int")?;
+    let select: usize = args.get("robust-select", 2, "int")?;
+    match args.get_str("robust-agg", "mean").as_str() {
+        "mean" => Ok(RobustAggRule::Mean),
+        "median" => Ok(RobustAggRule::CoordinateMedian),
+        "trimmed-mean" => Ok(RobustAggRule::TrimmedMean { trim: f }),
+        "krum" => Ok(RobustAggRule::Krum { byzantine: f }),
+        "multi-krum" => Ok(RobustAggRule::MultiKrum {
+            byzantine: f,
+            select,
+        }),
+        other => Err(CommandError::Invalid(format!(
+            "unknown --robust-agg '{other}' (mean|median|trimmed-mean|krum|multi-krum)"
+        ))),
+    }
+}
+
 fn load_or_generate(args: &Args, task: Task, seed: u64) -> Result<Dataset, CommandError> {
     if let Some(path) = args.get_opt("data") {
         return gfl_data::load_dataset(&path)
@@ -650,6 +860,72 @@ mod tests {
             "--crash-prob 1.5",
             "--straggler-frac 0.2 --straggler-factor 0.5",
             "--outage 0-1-2",
+        ] {
+            let (r, _) = run_cmd(
+                simulate,
+                &format!("--clients 8 --edges 2 --samples 900 --min-gs 2 {flags}"),
+            );
+            assert!(r.is_err(), "{flags} should be rejected");
+        }
+    }
+
+    #[test]
+    fn simulate_churned_session_prints_regroup_summary() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 4 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --churn moderate --churn-seed 11 --depart-frac 0.5 --arrive-frac 0.3",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("regroups:"), "{out}");
+        assert!(out.contains("final partition:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_frozen_policy_accepted() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 3 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --churn moderate --regroup-policy frozen",
+        );
+        r.unwrap();
+        assert!(out.contains("regroups:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_robust_agg_runs() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --robust-agg median",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_robust_agg_with_secure() {
+        let (r, _) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --min-gs 2 \
+             --robust-agg krum --secure",
+        );
+        assert!(matches!(r.unwrap_err(), CommandError::Invalid(_)));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_churn_flags() {
+        for flags in [
+            "--churn hurricane",
+            "--churn moderate --depart-frac 1.5",
+            "--churn moderate --regroup-policy maybe",
+            "--churn moderate --churn-horizon 0",
+            "--churn moderate --reform-every 0",
+            "--robust-agg sha256",
         ] {
             let (r, _) = run_cmd(
                 simulate,

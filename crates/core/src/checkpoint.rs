@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::engine::GroupFelConfig;
 use crate::history::RunHistory;
+use crate::membership::MembershipState;
 
 /// A resumable training snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,6 +30,11 @@ pub struct Checkpoint {
     pub config: GroupFelConfig,
     /// Cumulative emulated cost so far (Eq. 5).
     pub cost_so_far: f64,
+    /// Live membership of a self-healing run (current partition, activity
+    /// mask, group health, sampling probabilities) — `None` for static
+    /// runs. `Option` keeps pre-churn checkpoints (which lack the field)
+    /// loadable without a version bump.
+    pub membership: Option<MembershipState>,
 }
 
 /// Current checkpoint format version.
@@ -73,7 +79,15 @@ impl Checkpoint {
             history,
             config,
             cost_so_far,
+            membership: None,
         }
+    }
+
+    /// Attaches the membership state of a self-healing run, so a resumed
+    /// session continues from the healed partition rather than re-forming.
+    pub fn with_membership(mut self, membership: MembershipState) -> Self {
+        self.membership = Some(membership);
+        self
     }
 
     /// Serializes to pretty JSON.
@@ -139,11 +153,29 @@ mod tests {
     #[test]
     fn file_roundtrip() {
         let cp = sample();
-        let path = std::env::temp_dir().join("gfl_checkpoint_test.json");
+        // Unique per-process path: `cargo test` runs suites in parallel,
+        // and a shared fixed name races between them.
+        let path = std::env::temp_dir().join(format!(
+            "gfl_checkpoint_test_{}_{:p}.json",
+            std::process::id(),
+            &cp
+        ));
         cp.save(&path).unwrap();
         let back = Checkpoint::load(&path).unwrap();
         assert_eq!(back.params, cp.params);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn legacy_checkpoint_without_membership_field_loads() {
+        // A checkpoint serialized before the self-healing work has no
+        // `membership` key; it must still parse at the same version.
+        let json = sample().to_json();
+        assert!(json.contains("\"membership\""));
+        let legacy = json.replace(",\n  \"membership\": null", "");
+        assert!(!legacy.contains("membership"), "{legacy}");
+        let back = Checkpoint::from_json(&legacy).unwrap();
+        assert!(back.membership.is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! factor (§7.1: "different quadratic cost functions for each method").
 
 use gfl_data::{ClientPartition, Dataset, LabelMatrix};
-use gfl_faults::{FaultEvent, FaultInjector, FaultPlan, FaultPolicy};
+use gfl_faults::{ChurnPlan, FaultEvent, FaultInjector, FaultPlan, FaultPolicy};
 use gfl_nn::sgd::LrSchedule;
 use gfl_nn::{Network, Params};
 use gfl_sim::{CommModel, CostLedger, CostModel, Task, Topology};
@@ -28,9 +28,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::cov::group_cov;
-use crate::grouping::GroupingAlgorithm;
+use crate::grouping::{GroupingAlgorithm, PartitionError};
 use crate::history::{RoundRecord, RunHistory};
 use crate::local::{LocalScratch, LocalTask, LocalUpdate};
+use crate::membership::{MembershipState, RegroupPolicy};
 use crate::sampling::{
     aggregation_weights, sample_without_replacement, AggregationWeighting, SamplingStrategy,
 };
@@ -143,6 +144,8 @@ pub struct Trainer {
     partition: ClientPartition,
     test: Dataset,
     faults: Option<FaultState>,
+    churn: Option<ChurnState>,
+    robust_agg: RobustAggRule,
 }
 
 /// Fault-injection context of a faulted run: the decision oracle, the
@@ -154,6 +157,57 @@ struct FaultState {
     comm: CommModel,
     cost: CostModel,
     edge_of_client: Vec<usize>,
+}
+
+/// Group-level aggregation rule (Line 14). [`RobustAggRule::Mean`] is the
+/// paper's sample-weighted average; the rest are the Byzantine-robust
+/// estimators from `gfl-defense`, applied unweighted over the round's
+/// surviving client updates. Robust rules need at least 3 survivors and
+/// fall back to the weighted mean below that; they are skipped under
+/// `secure_aggregation`, which only supports linear aggregation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RobustAggRule {
+    /// Sample-weighted FedAvg (the paper's Line 14).
+    #[default]
+    Mean,
+    /// Coordinate-wise median.
+    CoordinateMedian,
+    /// Coordinate-wise mean after trimming the `trim` extremes per side
+    /// (clamped so at least one value survives).
+    TrimmedMean { trim: usize },
+    /// The single Krum-selected update, tolerating `byzantine` attackers
+    /// (clamped to the survivor count − 3).
+    Krum { byzantine: usize },
+    /// Mean of the `select` best updates by Krum score.
+    MultiKrum { byzantine: usize, select: usize },
+}
+
+/// Applies a (non-Mean) robust rule to the survivors, clamping its
+/// breakdown parameters to what the survivor count supports.
+fn robust_aggregate(rule: RobustAggRule, updates: &[Vec<Scalar>]) -> Vec<Scalar> {
+    let n = updates.len();
+    match rule {
+        RobustAggRule::Mean => unreachable!("Mean is handled by the weighted path"),
+        RobustAggRule::CoordinateMedian => gfl_defense::robust::coordinate_median(updates),
+        RobustAggRule::TrimmedMean { trim } => {
+            gfl_defense::robust::trimmed_mean(updates, trim.min((n - 1) / 2))
+        }
+        RobustAggRule::Krum { byzantine } => {
+            let f = byzantine.min(n.saturating_sub(3));
+            updates[gfl_defense::robust::krum(updates, f)].clone()
+        }
+        RobustAggRule::MultiKrum { byzantine, select } => {
+            let f = byzantine.min(n.saturating_sub(3));
+            gfl_defense::robust::multi_krum(updates, f, select.clamp(1, n))
+        }
+    }
+}
+
+/// Churn context of a self-healing run: the membership plan plus the
+/// policy governing when the partition is repaired.
+struct ChurnState {
+    plan: ChurnPlan,
+    policy: RegroupPolicy,
 }
 
 /// Result of one group's work within a global round.
@@ -171,6 +225,16 @@ struct GroupOutcome {
     upload_samples: usize,
     /// Faults that hit this group, in deterministic (k, member) order.
     events: Vec<FaultEvent>,
+}
+
+/// What one global round reports back to its driver loop.
+struct RoundReport {
+    /// The cost budget is exhausted; stop the run.
+    over_budget: bool,
+    /// Groups drawn this round (Line 6), before outage/empty filtering.
+    sampled: Vec<usize>,
+    /// Sampled groups whose survivor quorum failed (health-monitor feed).
+    quorum_missed: Vec<usize>,
 }
 
 impl Trainer {
@@ -195,6 +259,8 @@ impl Trainer {
             partition,
             test,
             faults: None,
+            churn: None,
+            robust_agg: RobustAggRule::Mean,
         }
     }
 
@@ -224,6 +290,33 @@ impl Trainer {
             cost: CostModel::for_task(self.config.task),
             edge_of_client,
         });
+        self
+    }
+
+    /// Enables membership churn + self-healing for the
+    /// [`Trainer::run_self_healing`] entry points. Like fault injection,
+    /// churn decisions are pure hashes of the plan seed — a clean plan
+    /// (or a disabled policy on a clean plan) leaves every run
+    /// bit-identical to one without churn machinery.
+    pub fn with_churn(mut self, plan: ChurnPlan, policy: RegroupPolicy) -> Self {
+        plan.validate();
+        self.churn = Some(ChurnState { plan, policy });
+        self
+    }
+
+    /// Selects the group-level aggregation rule for Line 14. The default
+    /// [`RobustAggRule::Mean`] is the paper's weighted average; robust
+    /// rules trade its unbiasedness for Byzantine tolerance.
+    ///
+    /// # Panics
+    /// Panics when combined with `secure_aggregation`: the masking
+    /// protocol can only compute linear functions of the updates.
+    pub fn with_robust_agg(mut self, rule: RobustAggRule) -> Self {
+        assert!(
+            rule == RobustAggRule::Mean || !self.config.secure_aggregation,
+            "robust aggregation is incompatible with secure aggregation"
+        );
+        self.robust_agg = rule;
         self
     }
 
@@ -359,11 +452,37 @@ impl Trainer {
     ) {
         assert_eq!(groups.len(), probs.len(), "one probability per group");
         assert!(!groups.is_empty(), "need at least one group");
+        for t in start_round..start_round + rounds {
+            let last = t + 1 == start_round + rounds;
+            let report = self.round_once(t, groups, strategy, probs, params, ledger, history, last);
+            if report.over_budget {
+                break;
+            }
+        }
+    }
+
+    /// One global round of Algorithm 1 (Lines 6–15): sample, train the
+    /// sampled groups, degrade gracefully, aggregate, charge costs, and
+    /// evaluate on the cadence. Shared by the static partition loop
+    /// ([`Trainer::run_resumable`]) and the self-healing loop, which
+    /// passes the *effective* (churn-filtered) groups of the round.
+    #[allow(clippy::too_many_arguments)]
+    fn round_once<S: LocalUpdate>(
+        &self,
+        t: usize,
+        groups: &[Group],
+        strategy: &S,
+        probs: &[Scalar],
+        params: &mut Params,
+        ledger: &mut CostLedger,
+        history: &mut RunHistory,
+        last: bool,
+    ) -> RoundReport {
+        assert_eq!(groups.len(), probs.len(), "one probability per group");
         let cfg = &self.config;
         let total_samples = self.train.len();
         let s = cfg.sampled_groups.clamp(1, groups.len());
-
-        for t in start_round..start_round + rounds {
+        {
             let lr = cfg.lr.at(t);
             // Sampling randomness is a pure function of (seed, t) so that a
             // checkpointed-and-resumed session draws exactly the same
@@ -372,13 +491,16 @@ impl Trainer {
             let sampled = sample_without_replacement(&mut rng, probs, s);
 
             // Edge outages: a dark edge server takes all of its sampled
-            // groups offline for this round.
+            // groups offline for this round. Empty groups (possible
+            // transiently under churn, before the next heal pass) sit out.
             let mut round_events: Vec<FaultEvent> = Vec::new();
-            let active: Vec<usize> = match &self.faults {
-                Some(fs) => sampled
-                    .iter()
-                    .copied()
-                    .filter(|&gi| {
+            let mut quorum_missed: Vec<usize> = Vec::new();
+            let active: Vec<usize> = sampled
+                .iter()
+                .copied()
+                .filter(|&gi| !groups[gi].is_empty())
+                .filter(|&gi| match &self.faults {
+                    Some(fs) => {
                         let edge = fs.edge_of_client[groups[gi][0]];
                         let down = fs.injector.edge_down(edge, t);
                         if down {
@@ -389,10 +511,10 @@ impl Trainer {
                             });
                         }
                         !down
-                    })
-                    .collect(),
-                None => sampled,
-            };
+                    }
+                    None => true,
+                })
+                .collect();
 
             // Lines 7–14: groups train in parallel.
             let outcomes: Vec<GroupOutcome> = gfl_parallel::par_map(&active, |&gi| {
@@ -427,6 +549,7 @@ impl Trainer {
                             survivors: o.upload_samples,
                             required,
                         });
+                        quorum_missed.push(o.group);
                         continue;
                     }
                     if fs.policy.reject_non_finite && !gfl_defense::is_update_finite(&o.params) {
@@ -491,8 +614,7 @@ impl Trainer {
             history.record_faults(round_events);
 
             let over_budget = cfg.cost_budget.is_some_and(|b| ledger.total() >= b);
-            let last = t + 1 == start_round + rounds;
-            if t % cfg.eval_every == 0 || last || over_budget {
+            if t.is_multiple_of(cfg.eval_every) || last || over_budget {
                 let eval = self.evaluate(params);
                 history.push(RoundRecord {
                     round: t,
@@ -502,10 +624,149 @@ impl Trainer {
                     train_loss,
                 });
             }
-            if over_budget {
+            RoundReport {
+                over_budget,
+                sampled,
+                quorum_missed,
+            }
+        }
+    }
+
+    /// Runs Algorithm 1 under **online membership**: forms the initial
+    /// partition over the clients present at round 0, then every round
+    /// applies the churn plan (departures, arrivals, flaps), lets the
+    /// group-health monitor heal the partition per the configured
+    /// [`RegroupPolicy`], and trains on whoever is available. Model state
+    /// carries across regroups; every membership transition lands in the
+    /// history's regroup log.
+    ///
+    /// Without [`Trainer::with_churn`] this still runs — a churn-free
+    /// self-healing session that only reacts to fault-driven degradation —
+    /// and with a clean plan it is bit-identical to [`Trainer::run`] on
+    /// [`form_groups_per_edge`] groups.
+    pub fn run_self_healing<S: LocalUpdate>(
+        &self,
+        algo: &dyn GroupingAlgorithm,
+        topology: &Topology,
+        strategy: &S,
+        sampling: SamplingStrategy,
+    ) -> Result<(RunHistory, Params, MembershipState), PartitionError> {
+        let policy = self
+            .churn
+            .as_ref()
+            .map_or_else(RegroupPolicy::default, |c| c.policy.clone());
+        let plan = self.churn.as_ref().map(|c| &c.plan);
+        let mut membership = MembershipState::form(
+            algo,
+            topology,
+            &self.partition.label_matrix,
+            plan,
+            policy,
+            self.config.seed,
+            sampling,
+            0,
+        )?;
+        let mut rng = init::rng(self.config.seed);
+        let mut params = self.model.init_params(&mut rng);
+        let mut ledger = self.ledger_for(strategy);
+        let mut history = RunHistory::default();
+        self.run_self_healing_resumable(
+            algo,
+            topology,
+            strategy,
+            sampling,
+            &mut membership,
+            &mut params,
+            &mut ledger,
+            &mut history,
+            0,
+            self.config.global_rounds,
+        )?;
+        Ok((history, params, membership))
+    }
+
+    /// Resumable core of the self-healing loop: runs `rounds` global
+    /// rounds from `start_round`, mutating the membership state, model,
+    /// ledger, and history in place. Checkpointing all five reproduces
+    /// the uninterrupted trajectory bit-for-bit — membership transitions
+    /// are pure functions of `(plan, round)` and repair is deterministic,
+    /// so a resumed session replays the same regroups and draws.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_self_healing_resumable<S: LocalUpdate>(
+        &self,
+        algo: &dyn GroupingAlgorithm,
+        topology: &Topology,
+        strategy: &S,
+        sampling: SamplingStrategy,
+        membership: &mut MembershipState,
+        params: &mut Params,
+        ledger: &mut CostLedger,
+        history: &mut RunHistory,
+        start_round: usize,
+        rounds: usize,
+    ) -> Result<(), PartitionError> {
+        let labels = &self.partition.label_matrix;
+        let plan = self.churn.as_ref().map(|c| &c.plan);
+        for t in start_round..start_round + rounds {
+            let mut events = Vec::new();
+            if let Some(plan) = plan {
+                events.extend(membership.apply_churn(plan, t, labels, topology));
+            }
+            events.extend(membership.heal(
+                t,
+                labels,
+                algo,
+                topology,
+                self.config.seed,
+                sampling,
+            )?);
+            history.record_regroups(events);
+            // CoVs shift with membership, so a healing policy refreshes
+            // sampling probabilities every round; a frozen policy keeps
+            // the formation-time values.
+            if membership.policy.enabled {
+                membership.refresh_probs(labels, sampling);
+            }
+            // Flapping clients sit out the round without leaving their
+            // group; the round trains each group's available members.
+            let effective: Vec<Group> = membership
+                .groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .copied()
+                        .filter(|&c| plan.is_none_or(|p| p.available(c, t)))
+                        .collect()
+                })
+                .collect();
+            if effective.iter().all(|g: &Group| g.is_empty()) {
+                // Nobody is reachable: hold the round outright.
+                history.record_fault(FaultEvent::RoundHeld { round: t });
+                ledger.end_round();
+                let last = t + 1 == start_round + rounds;
+                if t.is_multiple_of(self.config.eval_every) || last {
+                    let eval = self.evaluate(params);
+                    history.push(RoundRecord {
+                        round: t,
+                        cost: ledger.total(),
+                        accuracy: eval.accuracy,
+                        loss: eval.loss,
+                        train_loss: 0.0,
+                    });
+                }
+                continue;
+            }
+            let probs = membership.probs.clone();
+            let last = t + 1 == start_round + rounds;
+            let report = self.round_once(
+                t, &effective, strategy, &probs, params, ledger, history, last,
+            );
+            membership.observe_round(&report.sampled, &report.quorum_missed);
+            if report.over_budget {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Trains one group for `K` group rounds starting from `global` (Lines
@@ -687,6 +948,12 @@ impl Trainer {
                     t,
                     k,
                 );
+            } else if self.robust_agg != RobustAggRule::Mean
+                && client_params.iter().filter(|p| p.is_some()).count() >= 3
+            {
+                let survivors: Vec<Vec<Scalar>> =
+                    client_params.iter().filter_map(|p| p.clone()).collect();
+                group_params = robust_aggregate(self.robust_agg, &survivors);
             } else {
                 let views: Vec<&[Scalar]> =
                     client_params.iter().filter_map(|p| p.as_deref()).collect();
@@ -888,6 +1155,99 @@ mod tests {
         // And the union of groups is all clients.
         let total: usize = groups.iter().map(Group::len).sum();
         assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn clean_self_healing_run_matches_static_run_bit_for_bit() {
+        // With no churn plan, the self-healing loop must reproduce the
+        // static engine exactly: same formation, same draws, same model.
+        let (trainer, _) = tiny_world(11);
+        let algo = CovGrouping {
+            min_group_size: 2,
+            max_cov: 0.8,
+        };
+        let topo = Topology::even_split(2, trainer.partition.sizes());
+        // The self-healing loop forms its partition with the config seed.
+        let groups = form_groups_per_edge(
+            &algo,
+            &topo,
+            &trainer.partition.label_matrix,
+            trainer.config.seed,
+        );
+        let (h_static, p_static) =
+            trainer.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        let (h_heal, p_heal, membership) = trainer
+            .run_self_healing(&algo, &topo, &FedAvg, SamplingStrategy::ESRCov)
+            .unwrap();
+        assert_eq!(membership.groups, groups);
+        assert_eq!(p_static, p_heal);
+        assert_eq!(h_static, h_heal);
+        assert!(h_heal.regroup_events().is_empty());
+    }
+
+    #[test]
+    fn robust_aggregation_rules_complete_and_stay_finite() {
+        let (trainer, groups) = tiny_world(12);
+        for rule in [
+            RobustAggRule::CoordinateMedian,
+            RobustAggRule::TrimmedMean { trim: 1 },
+            RobustAggRule::Krum { byzantine: 1 },
+            RobustAggRule::MultiKrum {
+                byzantine: 1,
+                select: 2,
+            },
+        ] {
+            let t = Trainer::new(
+                trainer.config.clone(),
+                trainer.model.clone(),
+                trainer.train.clone(),
+                trainer.partition.clone(),
+                trainer.test.clone(),
+            )
+            .with_robust_agg(rule);
+            let (h, p) = t.run_returning_params(&groups, &FedAvg, SamplingStrategy::Random);
+            assert!(!h.is_empty(), "{rule:?} produced no records");
+            assert!(
+                p.iter().all(|w| w.is_finite()),
+                "{rule:?} produced non-finite weights"
+            );
+        }
+    }
+
+    #[test]
+    fn robust_aggregation_clamps_small_groups() {
+        // Breakdown parameters far beyond what tiny groups support must
+        // clamp rather than panic inside gfl-defense.
+        let (trainer, groups) = tiny_world(13);
+        let t = Trainer::new(
+            trainer.config.clone(),
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        )
+        .with_robust_agg(RobustAggRule::MultiKrum {
+            byzantine: 50,
+            select: 50,
+        });
+        let h = t.run(&groups, &FedAvg, SamplingStrategy::Random);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with secure aggregation")]
+    fn robust_aggregation_rejects_secure_aggregation() {
+        let (trainer, _) = tiny_world(14);
+        let mut cfg = trainer.config.clone();
+        cfg.secure_aggregation = true;
+        let _ = Trainer::new(
+            cfg,
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        )
+        .with_robust_agg(RobustAggRule::CoordinateMedian);
     }
 
     #[test]

@@ -150,7 +150,7 @@ mod tests {
             kmeans_iters: 5,
         }
         .form_groups(&labels, &mut init::rng(2));
-        validate_partition(&groups, 37);
+        validate_partition(&groups, 37).unwrap();
     }
 
     #[test]

@@ -102,7 +102,7 @@ mod tests {
             max_cov: 0.5,
         };
         let groups = algo.form_groups(&labels, &mut init::rng(2));
-        validate_partition(&groups, 40);
+        validate_partition(&groups, 40).unwrap();
     }
 
     #[test]
@@ -171,7 +171,7 @@ mod tests {
             max_cov: f32::INFINITY,
         };
         let groups = algo.form_groups(&labels, &mut init::rng(10));
-        validate_partition(&groups, 40);
+        validate_partition(&groups, 40).unwrap();
         // With no CoV pressure, growth stops the moment MinGS is reached
         // unless a candidate still strictly improves CoV.
         for g in &groups {
@@ -229,7 +229,7 @@ mod tests {
             max_cov: 0.05,
         };
         let groups = algo.form_groups(&labels, &mut init::rng(16));
-        validate_partition(&groups, 25);
+        validate_partition(&groups, 25).unwrap();
         for g in &groups {
             assert!(
                 group_cov(&labels, g) <= 0.05 + 1e-6,

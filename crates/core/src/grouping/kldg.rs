@@ -100,7 +100,7 @@ mod tests {
     fn partitions_everyone() {
         let labels = skewed_matrix(29, 4, 1);
         let groups = KldGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(2));
-        validate_partition(&groups, 29);
+        validate_partition(&groups, 29).unwrap();
     }
 
     #[test]
@@ -110,7 +110,7 @@ mod tests {
             .collect();
         let labels = gfl_data::LabelMatrix::new(counts, 4);
         let groups = KldGrouping { group_size: 4 }.form_groups(&labels, &mut init::rng(3));
-        validate_partition(&groups, 40);
+        validate_partition(&groups, 40).unwrap();
         let global = labels.global_distribution();
         for g in &groups {
             let hist = labels.group_histogram(g);

@@ -43,22 +43,145 @@ pub trait GroupingAlgorithm: Send + Sync {
     fn form_groups(&self, labels: &LabelMatrix, rng: &mut GflRng) -> Vec<Group>;
 }
 
-/// Asserts `groups` is a partition of `0..n` (test/debug helper, also used
-/// by the engine in debug builds).
-pub fn validate_partition(groups: &[Group], n: usize) {
+/// Why a candidate partition is not a true partition of the client set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// A group has no members.
+    EmptyGroup { group: usize },
+    /// A member id is `>= n`.
+    OutOfRange { client: usize },
+    /// A client appears in two groups.
+    Duplicate { client: usize },
+    /// A client appears in no group.
+    Missing { client: usize },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::EmptyGroup { group } => write!(f, "group {group} is empty"),
+            PartitionError::OutOfRange { client } => write!(f, "client {client} out of range"),
+            PartitionError::Duplicate { client } => write!(f, "client {client} in two groups"),
+            PartitionError::Missing { client } => {
+                write!(f, "client {client} missing from the partition")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Checks that `groups` is a partition of `0..n`: every client in exactly
+/// one group, no empty groups. Used by tests and by the self-healing
+/// membership layer, which must surface a structured error instead of
+/// crashing a long-running session on a bad repair.
+pub fn validate_partition(groups: &[Group], n: usize) -> Result<(), PartitionError> {
     let mut seen = vec![false; n];
-    for g in groups {
-        assert!(!g.is_empty(), "empty group in partition");
+    for (gi, g) in groups.iter().enumerate() {
+        if g.is_empty() {
+            return Err(PartitionError::EmptyGroup { group: gi });
+        }
         for &c in g {
-            assert!(c < n, "client {c} out of range");
-            assert!(!seen[c], "client {c} in two groups");
+            if c >= n {
+                return Err(PartitionError::OutOfRange { client: c });
+            }
+            if seen[c] {
+                return Err(PartitionError::Duplicate { client: c });
+            }
             seen[c] = true;
         }
     }
-    assert!(
-        seen.iter().all(|&s| s),
-        "some client missing from the partition"
-    );
+    if let Some(missing) = seen.iter().position(|&s| !s) {
+        return Err(PartitionError::Missing { client: missing });
+    }
+    Ok(())
+}
+
+/// [`validate_partition`] restricted to a subset of clients: `members`
+/// lists the ids that must be covered exactly once (the self-healing
+/// path validates per-edge partitions of the currently-active clients).
+pub fn validate_partition_of(
+    groups: &[Group],
+    members: &[usize],
+    n: usize,
+) -> Result<(), PartitionError> {
+    let mut expected = vec![false; n];
+    for &c in members {
+        if c >= n {
+            return Err(PartitionError::OutOfRange { client: c });
+        }
+        expected[c] = true;
+    }
+    let mut seen = vec![false; n];
+    for (gi, g) in groups.iter().enumerate() {
+        if g.is_empty() {
+            return Err(PartitionError::EmptyGroup { group: gi });
+        }
+        for &c in g {
+            if c >= n || !expected[c] {
+                return Err(PartitionError::OutOfRange { client: c });
+            }
+            if seen[c] {
+                return Err(PartitionError::Duplicate { client: c });
+            }
+            seen[c] = true;
+        }
+    }
+    for &c in members {
+        if !seen[c] {
+            return Err(PartitionError::Missing { client: c });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+
+    #[test]
+    fn valid_partition_passes() {
+        assert_eq!(validate_partition(&[vec![0, 2], vec![1]], 3), Ok(()));
+        assert_eq!(validate_partition_of(&[vec![0, 2]], &[0, 2], 3), Ok(()));
+    }
+
+    #[test]
+    fn each_defect_is_reported() {
+        assert_eq!(
+            validate_partition(&[vec![0], vec![]], 1),
+            Err(PartitionError::EmptyGroup { group: 1 })
+        );
+        assert_eq!(
+            validate_partition(&[vec![0, 5]], 2),
+            Err(PartitionError::OutOfRange { client: 5 })
+        );
+        assert_eq!(
+            validate_partition(&[vec![0, 1], vec![1]], 2),
+            Err(PartitionError::Duplicate { client: 1 })
+        );
+        assert_eq!(
+            validate_partition(&[vec![0]], 2),
+            Err(PartitionError::Missing { client: 1 })
+        );
+        assert!(validate_partition(&[vec![0]], 2)
+            .unwrap_err()
+            .to_string()
+            .contains("missing"));
+    }
+
+    #[test]
+    fn subset_validation_tracks_membership() {
+        // Client 1 is not a member: covering it is an error, as is
+        // skipping member 2.
+        assert_eq!(
+            validate_partition_of(&[vec![0, 1]], &[0, 2], 3),
+            Err(PartitionError::OutOfRange { client: 1 })
+        );
+        assert_eq!(
+            validate_partition_of(&[vec![0]], &[0, 2], 3),
+            Err(PartitionError::Missing { client: 2 })
+        );
+    }
 }
 
 #[cfg(test)]
@@ -147,7 +270,7 @@ mod proptests {
         ) {
             for algo in all_algorithms() {
                 let groups = algo.form_groups(&labels, &mut init::rng(seed));
-                validate_partition(&groups, labels.num_clients());
+                prop_assert!(validate_partition(&groups, labels.num_clients()).is_ok());
             }
         }
 

@@ -54,7 +54,7 @@ mod tests {
     fn partitions_everyone() {
         let labels = skewed_matrix(23, 4, 1);
         let groups = RandomGrouping { group_size: 5 }.form_groups(&labels, &mut init::rng(2));
-        validate_partition(&groups, 23);
+        validate_partition(&groups, 23).unwrap();
     }
 
     #[test]
@@ -81,7 +81,7 @@ mod tests {
         let labels = skewed_matrix(3, 4, 7);
         let groups = RandomGrouping { group_size: 10 }.form_groups(&labels, &mut init::rng(8));
         assert_eq!(groups.len(), 1);
-        validate_partition(&groups, 3);
+        validate_partition(&groups, 3).unwrap();
     }
 
     #[test]

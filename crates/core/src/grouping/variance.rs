@@ -123,7 +123,7 @@ mod tests {
             max_variance: 10.0,
         };
         let groups = algo.form_groups(&labels, &mut init::rng(2));
-        validate_partition(&groups, 30);
+        validate_partition(&groups, 30).unwrap();
     }
 
     #[test]
@@ -169,7 +169,7 @@ mod tests {
             max_variance: 5.0,
         };
         let groups = varg.form_groups(&labels, &mut init::rng(3));
-        validate_partition(&groups, 20);
+        validate_partition(&groups, 20).unwrap();
         // Some finalized group must consist purely of tiny-data clients
         // with high CoV — the pathology in action.
         let pathological = groups

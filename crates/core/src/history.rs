@@ -7,6 +7,8 @@ use gfl_faults::{summarize, FaultEvent, FaultSummary};
 use gfl_tensor::Scalar;
 use serde::{Deserialize, Serialize};
 
+use crate::membership::{summarize_regroups, RegroupEvent, RegroupSummary};
+
 /// One evaluated point of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -29,6 +31,10 @@ pub struct RoundRecord {
 pub struct RunHistory {
     records: Vec<RoundRecord>,
     faults: Vec<FaultEvent>,
+    /// Membership transitions of a self-healing run. `Option` (rather
+    /// than a bare `Vec`) so pre-churn serialized histories, which lack
+    /// the field entirely, still deserialize; static runs leave it `None`.
+    regroups: Option<Vec<RegroupEvent>>,
 }
 
 impl RunHistory {
@@ -63,6 +69,33 @@ impl RunHistory {
     /// Fault events of one global round.
     pub fn faults_in_round(&self, round: usize) -> impl Iterator<Item = &FaultEvent> {
         self.faults.iter().filter(move |e| e.round() == round)
+    }
+
+    /// Appends a batch of membership/regroup events (one round's worth).
+    /// An empty batch is a no-op, so clean self-healing runs stay equal
+    /// (`PartialEq`) to static runs of the same trajectory.
+    pub fn record_regroups(&mut self, events: impl IntoIterator<Item = RegroupEvent>) {
+        let mut it = events.into_iter().peekable();
+        if it.peek().is_some() {
+            self.regroups.get_or_insert_with(Vec::new).extend(it);
+        }
+    }
+
+    /// The full membership-transition log, in order.
+    pub fn regroup_events(&self) -> &[RegroupEvent] {
+        self.regroups.as_deref().unwrap_or(&[])
+    }
+
+    /// Membership-event counts by kind.
+    pub fn regroup_summary(&self) -> RegroupSummary {
+        summarize_regroups(self.regroup_events())
+    }
+
+    /// Membership events of one global round.
+    pub fn regroups_in_round(&self, round: usize) -> impl Iterator<Item = &RegroupEvent> {
+        self.regroup_events()
+            .iter()
+            .filter(move |e| e.round() == round)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -189,6 +222,32 @@ mod tests {
         assert_eq!(s.crashes, 2);
         assert_eq!(h.faults_in_round(2).count(), 2);
         assert_eq!(h.faults_in_round(0).count(), 0);
+    }
+
+    #[test]
+    fn regroup_log_accumulates_and_summarizes() {
+        let mut h = hist();
+        assert!(h.regroup_events().is_empty());
+        assert_eq!(h.regroup_summary().total(), 0);
+        h.record_regroups(vec![
+            RegroupEvent::ClientDeparted {
+                round: 1,
+                client: 3,
+                group: 0,
+            },
+            RegroupEvent::ClientMigrated {
+                round: 2,
+                client: 3,
+                to_group: 1,
+            },
+        ]);
+        assert_eq!(h.regroup_events().len(), 2);
+        assert_eq!(h.regroup_summary().departures, 1);
+        assert_eq!(h.regroups_in_round(2).count(), 1);
+        // A pre-churn serialized history (no `regroups` field) still loads.
+        let legacy = r#"{"records":[],"faults":[]}"#;
+        let back: RunHistory = serde_json::from_str(legacy).unwrap();
+        assert!(back.regroup_events().is_empty());
     }
 
     #[test]

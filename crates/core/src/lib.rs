@@ -48,6 +48,7 @@ pub mod engine;
 pub mod grouping;
 pub mod history;
 pub mod local;
+pub mod membership;
 pub mod sampling;
 pub mod theory;
 
@@ -57,12 +58,15 @@ pub type Group = Vec<usize>;
 /// Convenient re-exports of the full pipeline.
 pub mod prelude {
     pub use crate::cov::group_cov;
-    pub use crate::engine::{form_groups_per_edge, GroupFelConfig, Trainer};
+    pub use crate::engine::{form_groups_per_edge, GroupFelConfig, RobustAggRule, Trainer};
     pub use crate::grouping::{
         CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
     };
     pub use crate::history::{RoundRecord, RunHistory};
     pub use crate::local::{FedAvg, LocalTask, LocalUpdate};
+    pub use crate::membership::{
+        summarize_regroups, MembershipState, RegroupEvent, RegroupPolicy, RegroupSummary,
+    };
     pub use crate::sampling::{AggregationWeighting, SamplingStrategy};
     pub use crate::Group;
 }

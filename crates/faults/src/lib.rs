@@ -20,6 +20,9 @@
 //! * [`FaultEvent`] — the structured per-round audit record; every injected
 //!   fault that affects the run produces exactly one event, serialized
 //!   through `RunHistory` and checkpoints.
+//! * [`ChurnPlan`] ([`churn`]) — *who comes and goes*: permanent
+//!   departures, late arrivals, and flapping availability, consumed by
+//!   `gfl-core`'s self-healing membership layer.
 //!
 //! Decisions deliberately do **not** consume the engine's RNG streams:
 //! enabling faults never perturbs sampling, initialization, or minibatch
@@ -27,6 +30,10 @@
 //! faults themselves.
 
 use serde::{Deserialize, Serialize};
+
+pub mod churn;
+
+pub use churn::ChurnPlan;
 
 /// A half-open round range `[from_round, until_round)` during which one
 /// edge server is unreachable; every sampled group homed on that edge is
@@ -166,7 +173,7 @@ const P_CORRUPT: u64 = 0x434F_5252_5550_5401;
 const P_UPLOAD: u64 = 0x5550_4C4F_4144_0001;
 
 /// SplitMix64 finalizer: a high-quality 64-bit mix.
-fn mix(mut z: u64) -> u64 {
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
