@@ -86,5 +86,59 @@ fn bench_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round);
+/// A paper_vision-shaped world: §7.2's K=5, E=2, 12 sampled groups,
+/// batch 32, on the vision model — scaled to 60 clients / 3 edges so one
+/// global round is a realistic (not toy) unit of work.
+fn build_paper_scale() -> (Trainer, Vec<Vec<usize>>) {
+    let data = SyntheticSpec::vision_like().generate(6_000, 1);
+    let (train, test) = data.split_holdout(6);
+    let partition = ClientPartition::dirichlet(
+        &train,
+        &PartitionSpec {
+            num_clients: 60,
+            alpha: 0.1,
+            min_size: 20,
+            max_size: 160,
+            seed: 1,
+        },
+    );
+    let topology = Topology::even_split(3, partition.sizes());
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 5,
+            max_cov: 0.5,
+        },
+        &topology,
+        &partition.label_matrix,
+        1,
+    );
+    let mut config = GroupFelConfig::paper_vision();
+    config.global_rounds = 1;
+    config.cost_budget = None;
+    config.eval_every = 1;
+    config.seed = 1;
+    (
+        Trainer::new(config, gfl_nn::zoo::vision_model(), train, partition, test),
+        groups,
+    )
+}
+
+/// One paper-shaped global round across worker-thread counts. Results are
+/// bit-identical for every count (see `crates/core/tests/determinism.rs`);
+/// only the wall clock moves.
+fn bench_paper_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_vision_round");
+    group.sample_size(10);
+    let (trainer, groups) = build_paper_scale();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            gfl_parallel::set_default_parallelism(threads);
+            b.iter(|| black_box(trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov)));
+        });
+    }
+    gfl_parallel::set_default_parallelism(0);
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_paper_scale);
 criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Standalone perf harness for the training hot path.
+//!
+//! Runs a paper_vision-shaped workload (§7.2: K=5, E=2, 12 sampled groups,
+//! batch 32, vision model) for a few global rounds at each worker-thread
+//! count, measuring rounds/sec and heap allocations per round via a
+//! counting global allocator, then writes the results to
+//! `BENCH_ROUND.json` (and stdout).
+//!
+//! Usage: `cargo run --release -p gfl-bench --bin bench_round [-- --rounds N]`
+//!
+//! Results are bit-identical across thread counts by construction (see
+//! `crates/core/tests/determinism.rs`); this harness only measures time
+//! and allocation pressure. The report records the machine's core count —
+//! thread-scaling numbers are only meaningful when cores >= threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, Trainer};
+use gfl_core::grouping::CovGrouping;
+use gfl_core::local::FedAvg;
+use gfl_core::sampling::SamplingStrategy;
+use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
+use gfl_sim::Topology;
+
+/// Counts every allocation and reallocation on top of the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn build_paper_scale(rounds: usize) -> (Trainer, Vec<Vec<usize>>) {
+    let data = SyntheticSpec::vision_like().generate(6_000, 1);
+    let (train, test) = data.split_holdout(6);
+    let partition = ClientPartition::dirichlet(
+        &train,
+        &PartitionSpec {
+            num_clients: 60,
+            alpha: 0.1,
+            min_size: 20,
+            max_size: 160,
+            seed: 1,
+        },
+    );
+    let topology = Topology::even_split(3, partition.sizes());
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 5,
+            max_cov: 0.5,
+        },
+        &topology,
+        &partition.label_matrix,
+        1,
+    );
+    let mut config = GroupFelConfig::paper_vision();
+    config.global_rounds = rounds;
+    config.cost_budget = None;
+    config.eval_every = rounds; // evaluate once, not per round
+    config.seed = 1;
+    (
+        Trainer::new(config, gfl_nn::zoo::vision_model(), train, partition, test),
+        groups,
+    )
+}
+
+fn main() {
+    let mut rounds = 3usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--rounds" => {
+                rounds = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--rounds needs a positive integer");
+            }
+            other => panic!("unknown argument '{other}' (supported: --rounds N)"),
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (trainer, groups) = build_paper_scale(rounds);
+    let param_count = trainer.model().param_len();
+
+    // Warm-up: populate scratch pools, page in the dataset.
+    gfl_parallel::set_default_parallelism(1);
+    let reference = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+
+    let mut results = Vec::new();
+    let mut per_rounds: Vec<f64> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        gfl_parallel::set_default_parallelism(threads);
+        let alloc_start = ALLOCS.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        let secs = t0.elapsed().as_secs_f64();
+        let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+        assert_eq!(h, reference, "thread count changed the result");
+        let per_round = secs / rounds as f64;
+        eprintln!(
+            "threads={threads:2}  {:7.3} s/round  {:9.4} rounds/s  {:8} allocs/round",
+            per_round,
+            1.0 / per_round,
+            allocs / rounds as u64
+        );
+        results.push(serde_json::json!({
+            "threads": threads,
+            "seconds_per_round": per_round,
+            "rounds_per_sec": 1.0 / per_round,
+            "allocs_per_round": allocs / rounds as u64,
+        }));
+        per_rounds.push(per_round);
+    }
+    gfl_parallel::set_default_parallelism(0);
+
+    let report = serde_json::json!({
+        "workload": "paper_vision-shaped: 60 clients / 3 edges, K=5, E=2, 12 sampled groups, batch 32, vision model",
+        "param_count": param_count,
+        "rounds_measured": rounds,
+        "cores": cores,
+        "results": results,
+        "speedup_8_vs_1_threads": per_rounds[0] / per_rounds[3],
+        "note": "results are bit-identical across thread counts; speedup only materializes when cores >= threads",
+    });
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write("BENCH_ROUND.json", format!("{pretty}\n")).expect("write BENCH_ROUND.json");
+    println!("{pretty}");
+}

@@ -86,6 +86,8 @@ TRAINING:
   --seed N                                              [42]
   --secure           route aggregation through real SecAgg
   --dropout F        per-group-round client dropout     [0.0]
+  --threads N        worker threads (0 = GFL_THREADS env, else all cores);
+                     results are bit-identical for every N  [0]
 
 FAULT INJECTION (deterministic; see docs/FAULTS.md):
   --faults none|moderate   preset fault plan            [none]
@@ -125,6 +127,13 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     }
     let seed: u64 = args.get("seed", 42, "int")?;
     let task = parse_task(&args.get_str("task", "vision"))?;
+
+    // --- parallelism: flag > GFL_THREADS env > autodetect ---
+    let threads: usize = args.get("threads", 0usize, "int")?;
+    if threads > 0 {
+        gfl_parallel::set_default_parallelism(threads);
+    }
+    let effective_threads = gfl_parallel::default_parallelism();
 
     // --- data ---
     let dataset = load_or_generate(&args, task, seed)?;
@@ -207,7 +216,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
 
     writeln!(
         out,
-        "training {method} on {} clients / {} edges ({param_count} params)",
+        "training {method} on {} clients / {} edges ({param_count} params, {effective_threads} threads)",
         clients, edges
     )?;
     let (history, final_params, membership) = match method.as_str() {
@@ -933,6 +942,27 @@ mod tests {
             );
             assert!(r.is_err(), "{flags} should be rejected");
         }
+    }
+
+    #[test]
+    fn simulate_threads_flag_echoed_and_bit_identical() {
+        let args = "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 --threads";
+        let (r1, out1) = run_cmd(simulate, &format!("{args} 1"));
+        r1.unwrap();
+        assert!(out1.contains("1 threads"), "{out1}");
+        let (r2, out2) = run_cmd(simulate, &format!("{args} 4"));
+        r2.unwrap();
+        assert!(out2.contains("4 threads"), "{out2}");
+        // Same trajectory regardless of the worker count.
+        let tail = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.contains("round"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(tail(&out1), tail(&out2));
+        gfl_parallel::set_default_parallelism(0);
     }
 
     #[test]

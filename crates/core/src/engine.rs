@@ -30,7 +30,7 @@ use serde::{Deserialize, Serialize};
 use crate::cov::group_cov;
 use crate::grouping::{GroupingAlgorithm, PartitionError};
 use crate::history::{RoundRecord, RunHistory};
-use crate::local::{LocalScratch, LocalTask, LocalUpdate};
+use crate::local::{LocalScratch, LocalTask, LocalUpdate, ScratchPool};
 use crate::membership::{MembershipState, RegroupPolicy};
 use crate::sampling::{
     aggregation_weights, sample_without_replacement, AggregationWeighting, SamplingStrategy,
@@ -146,6 +146,7 @@ pub struct Trainer {
     faults: Option<FaultState>,
     churn: Option<ChurnState>,
     robust_agg: RobustAggRule,
+    scratch: ScratchPool,
 }
 
 /// Fault-injection context of a faulted run: the decision oracle, the
@@ -227,6 +228,51 @@ struct GroupOutcome {
     events: Vec<FaultEvent>,
 }
 
+/// One client's fixed result slot within a group round. Workers write
+/// their slot and nothing else; the sequential reducer drains slots in
+/// member order, so the aggregate is independent of execution order.
+struct Slot {
+    /// The trained local model. Reused across group rounds — a client's
+    /// parameter buffer is allocated once per (group, round), not once per
+    /// (group, round, k).
+    buf: Params,
+    /// Whether `buf` holds a surviving update this group round.
+    live: bool,
+    /// At most one fault can hit a client per group round.
+    event: Option<FaultEvent>,
+    /// Local training loss, if the client trained on any data (recorded
+    /// even when the update is later rejected as corrupt, matching the
+    /// sequential engine).
+    loss: Option<Scalar>,
+}
+
+/// Per-group mutable state threaded through the `K` group rounds.
+struct GroupCtx<'g> {
+    gi: usize,
+    group: &'g [usize],
+    group_params: Params,
+    slots: Vec<Slot>,
+    deadline: Option<(f64, f64)>,
+    loss_acc: Scalar,
+    loss_n: u32,
+    uploads: usize,
+    upload_samples: usize,
+    events: Vec<FaultEvent>,
+    n_g: usize,
+}
+
+/// One schedulable work unit: a single client's local training within one
+/// group round. Units across *all* groups go onto one work-stealing queue,
+/// so a straggling large group no longer serializes the round.
+struct Unit<'a> {
+    gi: usize,
+    client: usize,
+    /// The group model this client starts from (`x^g_{t,k}`).
+    start: &'a [Scalar],
+    deadline: Option<(f64, f64)>,
+    slot: &'a mut Slot,
+}
+
 /// What one global round reports back to its driver loop.
 struct RoundReport {
     /// The cost budget is exhausted; stop the run.
@@ -261,6 +307,7 @@ impl Trainer {
             faults: None,
             churn: None,
             robust_agg: RobustAggRule::Mean,
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -516,10 +563,13 @@ impl Trainer {
                 })
                 .collect();
 
-            // Lines 7–14: groups train in parallel.
-            let outcomes: Vec<GroupOutcome> = gfl_parallel::par_map(&active, |&gi| {
-                self.train_group_impl(params, &groups[gi], strategy, t, lr, gi)
-            });
+            // Lines 7–14: every (group × client) pair of this round trains
+            // on one shared work-stealing queue, client-granular.
+            let group_refs: Vec<(usize, &[usize])> = active
+                .iter()
+                .map(|&gi| (gi, groups[gi].as_slice()))
+                .collect();
+            let outcomes = self.train_groups(params, &group_refs, strategy, t, lr);
 
             // Charge Eq. 5 for every group that attempted the round.
             for o in &outcomes {
@@ -797,179 +847,294 @@ impl Trainer {
         lr: Scalar,
         gi: usize,
     ) -> GroupOutcome {
-        let cfg = &self.config;
-        let fs = self.faults.as_ref();
-        let n_g = self.group_samples(group).max(1);
-        let mut group_params: Params = global.to_vec();
-        let mut scratch = LocalScratch::new(&self.model);
-        let mut loss_acc = 0.0;
-        let mut loss_n = 0u32;
-        let mut client_params: Vec<Option<Params>> = vec![None; group.len()];
-        let mut events: Vec<FaultEvent> = Vec::new();
-        let mut uploads = 0usize;
-        let mut upload_samples = 0usize;
+        self.train_groups(global, &[(gi, group)], strategy, t, lr)
+            .pop()
+            .expect("one group in, one outcome out")
+    }
 
-        // Straggler deadline for this group: `deadline_factor ×` the
-        // slowest *nominal* client's wall-clock estimate (compute per
-        // Eq. 5's training cost, plus both client↔edge transfers).
-        let deadline = fs.and_then(|fs| {
-            if fs.policy.deadline_factor <= 0.0 {
-                return None;
-            }
-            let transfer = 2.0
-                * fs.comm
-                    .client_edge
-                    .transfer_time(CommModel::model_bytes(global.len()));
-            let slowest = group
-                .iter()
-                .map(|&c| {
-                    fs.cost.training(self.partition.indices[c].len()) * cfg.local_rounds as f64
-                        + transfer
-                })
-                .fold(0.0f64, f64::max);
-            Some((fs.policy.deadline_factor * slowest, transfer))
-        });
+    /// Straggler deadline for a group: `deadline_factor ×` the slowest
+    /// *nominal* client's wall-clock estimate (compute per Eq. 5's training
+    /// cost, plus both client↔edge transfers). Returns `(deadline_s,
+    /// transfer_s)`.
+    fn group_deadline(&self, group: &[usize], param_len: usize) -> Option<(f64, f64)> {
+        let fs = self.faults.as_ref()?;
+        if fs.policy.deadline_factor <= 0.0 {
+            return None;
+        }
+        let transfer = 2.0
+            * fs.comm
+                .client_edge
+                .transfer_time(CommModel::model_bytes(param_len));
+        let slowest = group
+            .iter()
+            .map(|&c| {
+                fs.cost.training(self.partition.indices[c].len()) * self.config.local_rounds as f64
+                    + transfer
+            })
+            .fold(0.0f64, f64::max);
+        Some((fs.policy.deadline_factor * slowest, transfer))
+    }
+
+    /// Trains a batch of groups for `K` group rounds each (Lines 8–14),
+    /// flattening every group round's (group × client) pairs into one
+    /// work-stealing queue. Client-granular scheduling keeps all workers
+    /// busy even when group sizes are skewed; each unit writes only its own
+    /// [`Slot`], and slots are reduced sequentially in member order, so the
+    /// result is bit-identical to the sequential engine for any thread
+    /// count.
+    fn train_groups<S: LocalUpdate>(
+        &self,
+        global: &[Scalar],
+        groups: &[(usize, &[usize])],
+        strategy: &S,
+        t: usize,
+        lr: Scalar,
+    ) -> Vec<GroupOutcome> {
+        let cfg = &self.config;
+        let mut ctxs: Vec<GroupCtx<'_>> = groups
+            .iter()
+            .map(|&(gi, group)| GroupCtx {
+                gi,
+                group,
+                group_params: global.to_vec(),
+                slots: group
+                    .iter()
+                    .map(|_| Slot {
+                        buf: Params::new(),
+                        live: false,
+                        event: None,
+                        loss: None,
+                    })
+                    .collect(),
+                deadline: self.group_deadline(group, global.len()),
+                loss_acc: 0.0,
+                loss_n: 0,
+                uploads: 0,
+                upload_samples: 0,
+                events: Vec::new(),
+                n_g: self.group_samples(group).max(1),
+            })
+            .collect();
+        let total_units: usize = groups.iter().map(|&(_, g)| g.len()).sum();
 
         for k in 0..cfg.group_rounds {
-            for slot in client_params.iter_mut() {
-                *slot = None;
-            }
-            for (slot, &client) in group.iter().enumerate() {
-                let indices = &self.partition.indices[client];
-                // Injected faults: crashes vanish mid-round, stragglers
-                // past the deadline are cut. Decisions are pure hashes —
-                // they never touch `crng`, so the clean path is
-                // bit-identical with faults compiled in but disabled.
-                if let Some(fs) = fs {
-                    if fs.injector.crashes(t, k, client) {
-                        events.push(FaultEvent::ClientCrash {
-                            round: t,
-                            group_round: k,
-                            group: gi,
-                            client,
-                        });
-                        continue;
-                    }
-                    if let Some((deadline_s, transfer)) = deadline {
-                        let slowdown = fs.injector.slowdown(t, k, client);
-                        if slowdown > 1.0 {
-                            let estimated = fs.cost.training(indices.len())
-                                * cfg.local_rounds as f64
-                                * slowdown
-                                + transfer;
-                            if estimated > deadline_s {
-                                events.push(FaultEvent::StragglerCut {
-                                    round: t,
-                                    group_round: k,
-                                    group: gi,
-                                    client,
-                                    slowdown,
-                                });
-                                continue;
-                            }
-                        }
-                    }
-                }
-                // Independent, reproducible stream per (seed, t, k, client).
-                let mut crng = init::rng(
-                    cfg.seed
-                        ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                        ^ (k as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
-                        ^ (client as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
-                );
-                // Device churn: the client trains but drops before its
-                // upload reaches the edge aggregator.
-                let dropped = cfg.dropout_prob > 0.0 && crng.gen::<f64>() < cfg.dropout_prob;
-                if dropped {
-                    continue;
-                }
-                let mut p = group_params.clone();
-                let task = LocalTask {
-                    client,
-                    model: &self.model,
-                    group_start: &group_params,
-                    global_start: global,
-                    data: &self.train,
-                    indices,
-                    epochs: cfg.local_rounds,
-                    batch_size: cfg.batch_size,
-                    lr,
-                    round: t,
-                };
-                let loss = strategy.train(&task, &mut p, &mut scratch, &mut crng);
-                if !indices.is_empty() {
-                    loss_acc += loss;
-                    loss_n += 1;
-                }
-                if let Some(fs) = fs {
-                    if fs.injector.corrupts(t, k, client) {
-                        // The update arrives garbled: all weights NaN.
-                        for w in p.iter_mut() {
-                            *w = Scalar::NAN;
-                        }
-                    }
-                    if fs.policy.reject_non_finite && !gfl_defense::is_update_finite(&p) {
-                        events.push(FaultEvent::CorruptRejected {
-                            round: t,
-                            group_round: k,
-                            group: gi,
-                            client,
-                        });
-                        continue;
-                    }
-                }
-                client_params[slot] = Some(p);
-            }
-            // Line 14: group aggregation, weighted by n_i over this round's
-            // survivors.
-            let n_surv: usize = group
-                .iter()
-                .zip(client_params.iter())
-                .filter(|(_, p)| p.is_some())
-                .map(|(&c, _)| self.partition.indices[c].len())
-                .sum();
-            uploads += client_params.iter().filter(|p| p.is_some()).count();
-            upload_samples += n_surv;
-            if n_surv == 0 {
-                continue; // every client dropped: group model unchanged
-            }
-            let weights: Vec<Scalar> = group
-                .iter()
-                .zip(client_params.iter())
-                .filter(|(_, p)| p.is_some())
-                .map(|(&c, _)| self.partition.indices[c].len() as Scalar / n_surv as Scalar)
-                .collect();
-            if cfg.secure_aggregation {
-                self.secure_group_aggregate(
+            // Flatten this group round into per-client units. Splitting a
+            // ctx into its fields lets each unit hold the group model
+            // immutably alongside a mutable borrow of its own slot.
+            let mut units: Vec<Unit<'_>> = Vec::with_capacity(total_units);
+            for ctx in ctxs.iter_mut() {
+                let GroupCtx {
+                    gi,
                     group,
-                    &client_params,
-                    &weights,
-                    &mut group_params,
-                    t,
-                    k,
-                );
-            } else if self.robust_agg != RobustAggRule::Mean
-                && client_params.iter().filter(|p| p.is_some()).count() >= 3
-            {
-                let survivors: Vec<Vec<Scalar>> =
-                    client_params.iter().filter_map(|p| p.clone()).collect();
-                group_params = robust_aggregate(self.robust_agg, &survivors);
-            } else {
-                let views: Vec<&[Scalar]> =
-                    client_params.iter().filter_map(|p| p.as_deref()).collect();
-                ops::weighted_sum_into(&views, &weights, &mut group_params);
+                    group_params,
+                    slots,
+                    deadline,
+                    ..
+                } = ctx;
+                let start: &[Scalar] = group_params.as_slice();
+                for (slot, &client) in slots.iter_mut().zip(group.iter()) {
+                    units.push(Unit {
+                        gi: *gi,
+                        client,
+                        start,
+                        deadline: *deadline,
+                        slot,
+                    });
+                }
+            }
+            gfl_parallel::par_for_each_init(
+                &mut units,
+                || self.scratch.acquire(&self.model),
+                |scratch, _i, unit| {
+                    self.run_unit(t, k, lr, global, strategy, unit, scratch.get_mut())
+                },
+            );
+            drop(units);
+
+            // Sequential reduction, group by group, slots in member order —
+            // the exact event/loss/aggregation order of the old per-group
+            // loop.
+            for ctx in ctxs.iter_mut() {
+                for slot in ctx.slots.iter_mut() {
+                    if let Some(ev) = slot.event.take() {
+                        ctx.events.push(ev);
+                    }
+                    if let Some(loss) = slot.loss.take() {
+                        ctx.loss_acc += loss;
+                        ctx.loss_n += 1;
+                    }
+                }
+                // Line 14: group aggregation, weighted by n_i over this
+                // round's survivors.
+                let n_surv: usize = ctx
+                    .group
+                    .iter()
+                    .zip(ctx.slots.iter())
+                    .filter(|(_, s)| s.live)
+                    .map(|(&c, _)| self.partition.indices[c].len())
+                    .sum();
+                ctx.uploads += ctx.slots.iter().filter(|s| s.live).count();
+                ctx.upload_samples += n_surv;
+                if n_surv == 0 {
+                    continue; // every client dropped: group model unchanged
+                }
+                let weights: Vec<Scalar> = ctx
+                    .group
+                    .iter()
+                    .zip(ctx.slots.iter())
+                    .filter(|(_, s)| s.live)
+                    .map(|(&c, _)| self.partition.indices[c].len() as Scalar / n_surv as Scalar)
+                    .collect();
+                if cfg.secure_aggregation {
+                    self.secure_group_aggregate(
+                        ctx.group,
+                        &ctx.slots,
+                        &weights,
+                        &mut ctx.group_params,
+                        t,
+                        k,
+                    );
+                } else if self.robust_agg != RobustAggRule::Mean
+                    && ctx.slots.iter().filter(|s| s.live).count() >= 3
+                {
+                    let survivors: Vec<Vec<Scalar>> = ctx
+                        .slots
+                        .iter()
+                        .filter(|s| s.live)
+                        .map(|s| s.buf.clone())
+                        .collect();
+                    ctx.group_params = robust_aggregate(self.robust_agg, &survivors);
+                } else {
+                    let views: Vec<&[Scalar]> = ctx
+                        .slots
+                        .iter()
+                        .filter(|s| s.live)
+                        .map(|s| s.buf.as_slice())
+                        .collect();
+                    ops::weighted_sum_into(&views, &weights, &mut ctx.group_params);
+                }
             }
         }
-        GroupOutcome {
-            group: gi,
-            params: group_params,
-            samples: n_g,
-            train_loss: loss_acc / loss_n.max(1) as Scalar,
-            members: group.to_vec(),
-            uploads,
-            upload_samples,
-            events,
+
+        ctxs.into_iter()
+            .map(|ctx| GroupOutcome {
+                group: ctx.gi,
+                params: ctx.group_params,
+                samples: ctx.n_g,
+                train_loss: ctx.loss_acc / ctx.loss_n.max(1) as Scalar,
+                members: ctx.group.to_vec(),
+                uploads: ctx.uploads,
+                upload_samples: ctx.upload_samples,
+                events: ctx.events,
+            })
+            .collect()
+    }
+
+    /// One client's local training within one group round (Line 13, plus
+    /// the fault gates around it). Writes only `unit.slot`; every decision
+    /// is a pure function of `(seed, t, k, client)`, so the outcome does
+    /// not depend on which worker thread runs the unit or when.
+    #[allow(clippy::too_many_arguments)]
+    fn run_unit<S: LocalUpdate>(
+        &self,
+        t: usize,
+        k: usize,
+        lr: Scalar,
+        global: &[Scalar],
+        strategy: &S,
+        unit: &mut Unit<'_>,
+        scratch: &mut LocalScratch,
+    ) {
+        let cfg = &self.config;
+        let fs = self.faults.as_ref();
+        let client = unit.client;
+        let slot = &mut *unit.slot;
+        slot.live = false;
+        slot.event = None;
+        slot.loss = None;
+        let indices = &self.partition.indices[client];
+        // Injected faults: crashes vanish mid-round, stragglers past the
+        // deadline are cut. Decisions are pure hashes — they never touch
+        // `crng`, so the clean path is bit-identical with faults compiled
+        // in but disabled.
+        if let Some(fs) = fs {
+            if fs.injector.crashes(t, k, client) {
+                slot.event = Some(FaultEvent::ClientCrash {
+                    round: t,
+                    group_round: k,
+                    group: unit.gi,
+                    client,
+                });
+                return;
+            }
+            if let Some((deadline_s, transfer)) = unit.deadline {
+                let slowdown = fs.injector.slowdown(t, k, client);
+                if slowdown > 1.0 {
+                    let estimated =
+                        fs.cost.training(indices.len()) * cfg.local_rounds as f64 * slowdown
+                            + transfer;
+                    if estimated > deadline_s {
+                        slot.event = Some(FaultEvent::StragglerCut {
+                            round: t,
+                            group_round: k,
+                            group: unit.gi,
+                            client,
+                            slowdown,
+                        });
+                        return;
+                    }
+                }
+            }
         }
+        // Independent, reproducible stream per (seed, t, k, client).
+        let mut crng = init::rng(
+            cfg.seed
+                ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (k as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+                ^ (client as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        // Device churn: the client trains but drops before its upload
+        // reaches the edge aggregator.
+        let dropped = cfg.dropout_prob > 0.0 && crng.gen::<f64>() < cfg.dropout_prob;
+        if dropped {
+            return;
+        }
+        slot.buf.clear();
+        slot.buf.extend_from_slice(unit.start);
+        let task = LocalTask {
+            client,
+            model: &self.model,
+            group_start: unit.start,
+            global_start: global,
+            data: &self.train,
+            indices,
+            epochs: cfg.local_rounds,
+            batch_size: cfg.batch_size,
+            lr,
+            round: t,
+        };
+        let loss = strategy.train(&task, &mut slot.buf, scratch, &mut crng);
+        if !indices.is_empty() {
+            slot.loss = Some(loss);
+        }
+        if let Some(fs) = fs {
+            if fs.injector.corrupts(t, k, client) {
+                // The update arrives garbled: all weights NaN.
+                for w in slot.buf.iter_mut() {
+                    *w = Scalar::NAN;
+                }
+            }
+            if fs.policy.reject_non_finite && !gfl_defense::is_update_finite(&slot.buf) {
+                slot.event = Some(FaultEvent::CorruptRejected {
+                    round: t,
+                    group_round: k,
+                    group: unit.gi,
+                    client,
+                });
+                return;
+            }
+        }
+        slot.live = true;
     }
 
     /// Group aggregation through the real pairwise-masking protocol:
@@ -980,7 +1145,7 @@ impl Trainer {
     fn secure_group_aggregate(
         &self,
         group: &[usize],
-        client_params: &[Option<Params>],
+        slots: &[Slot],
         weights: &[Scalar],
         out: &mut Params,
         t: usize,
@@ -994,10 +1159,12 @@ impl Trainer {
         let mut survivors = Vec::with_capacity(group.len());
         let mut masked = Vec::with_capacity(group.len());
         let mut w_iter = weights.iter();
-        for (&c, p) in group.iter().zip(client_params.iter()) {
-            let Some(p) = p else { continue };
+        for (&c, slot) in group.iter().zip(slots.iter()) {
+            if !slot.live {
+                continue;
+            }
             let w = *w_iter.next().expect("one weight per survivor");
-            let mut scaled = p.clone();
+            let mut scaled = slot.buf.clone();
             ops::scale(w, &mut scaled);
             masked.push(session.mask(c as u32, &scaled).0);
             survivors.push(c as u32);

@@ -10,7 +10,7 @@
 //! which group operations it performs per group round and how much extra
 //! per-sample compute its local step costs.
 
-use gfl_data::Dataset;
+use gfl_data::{Batch, Dataset};
 use gfl_nn::{Network, NetworkWorkspace, Params};
 use gfl_sim::GroupOpKind;
 use gfl_tensor::init::GflRng;
@@ -43,10 +43,15 @@ pub struct LocalTask<'a> {
 }
 
 /// Per-thread reusable buffers for local training.
+///
+/// One instance serves many clients in sequence: the engine keeps a pool of
+/// these (one per worker thread) so the workspace, gradient, shuffle, and
+/// minibatch buffers are allocated once per run instead of once per client.
 pub struct LocalScratch {
     pub workspace: NetworkWorkspace,
     pub grad: Vec<Scalar>,
     shuffled: Vec<usize>,
+    batch: Batch,
 }
 
 impl LocalScratch {
@@ -55,6 +60,59 @@ impl LocalScratch {
             workspace: model.workspace(),
             grad: vec![0.0; model.param_len()],
             shuffled: Vec::new(),
+            batch: Batch::empty(),
+        }
+    }
+}
+
+/// A shared pool of [`LocalScratch`] buffers.
+///
+/// Worker threads check a scratch out at the start of a parallel region and
+/// return it on drop, so a long run allocates at most one scratch per worker
+/// thread — not one per group per round. The pool lives on the `Trainer` and
+/// is warm across rounds.
+pub(crate) struct ScratchPool {
+    pool: std::sync::Mutex<Vec<LocalScratch>>,
+}
+
+impl ScratchPool {
+    pub(crate) fn new() -> Self {
+        Self {
+            pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks out a scratch (allocating one only when the pool is dry).
+    pub(crate) fn acquire(&self, model: &Network) -> ScratchGuard<'_> {
+        let scratch = self
+            .pool
+            .lock()
+            .expect("scratch pool poisoned")
+            .pop()
+            .unwrap_or_else(|| LocalScratch::new(model));
+        ScratchGuard {
+            pool: self,
+            scratch: Some(scratch),
+        }
+    }
+}
+
+/// RAII check-out of one [`LocalScratch`]; returns it to the pool on drop.
+pub(crate) struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    scratch: Option<LocalScratch>,
+}
+
+impl ScratchGuard<'_> {
+    pub(crate) fn get_mut(&mut self) -> &mut LocalScratch {
+        self.scratch.as_mut().expect("scratch taken")
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(s), Ok(mut pool)) = (self.scratch.take(), self.pool.pool.lock()) {
+            pool.push(s);
         }
     }
 }
@@ -122,11 +180,12 @@ pub fn minibatch_sgd(
             scratch.shuffled.swap(i, j);
         }
         for chunk in scratch.shuffled.chunks(batch) {
-            let mb = task.data.batch(chunk);
+            // Buffer-reusing gather: allocation-free after the first batch.
+            task.data.batch_into(chunk, &mut scratch.batch);
             let loss = task.model.loss_and_grad(
                 params,
-                &mb.features,
-                &mb.labels,
+                &scratch.batch.features,
+                &scratch.batch.labels,
                 &mut scratch.grad,
                 &mut scratch.workspace,
             );

@@ -1,0 +1,185 @@
+//! Determinism suite: bit-identical results across worker-thread counts.
+//!
+//! The engine schedules each global round's (group × client) work units on
+//! a work-stealing queue, so *which* thread runs a client — and in what
+//! order — varies freely with the parallelism degree. This suite pins the
+//! process-wide thread count to 1, 2, and 8 in turn and asserts that the
+//! full [`RunHistory`] (records, fault log, regroup log) and the final
+//! model parameters are bit-for-bit identical in every configuration the
+//! engine supports: clean, fault-injected, churned/self-healing, and
+//! secure-aggregation runs.
+//!
+//! Set `GFL_SEED` (CI runs 1 and 2) to shift every seed in the suite and
+//! shake out seed-sensitive nondeterminism.
+
+use std::sync::Mutex;
+
+use gfl_core::membership::RegroupPolicy;
+use gfl_core::prelude::*;
+use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
+use gfl_faults::{ChurnPlan, FaultPlan, FaultPolicy};
+use gfl_sim::Topology;
+
+/// Thread counts every path must agree across.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// `set_default_parallelism` is process-global; tests in this binary run
+/// concurrently, so every pin happens under this lock.
+static THREAD_PIN: Mutex<()> = Mutex::new(());
+
+/// CI seed shift: `GFL_SEED=n` offsets every seed in the suite.
+fn seed_offset() -> u64 {
+    std::env::var("GFL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Runs `f` once per thread count in [`THREAD_COUNTS`] and asserts every
+/// result is bit-identical to the single-threaded one.
+fn assert_bit_identical<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let _guard = THREAD_PIN.lock().unwrap_or_else(|e| e.into_inner());
+    let mut baseline: Option<R> = None;
+    for &threads in &THREAD_COUNTS {
+        gfl_parallel::set_default_parallelism(threads);
+        let result = f();
+        match &baseline {
+            None => baseline = Some(result),
+            Some(b) => assert_eq!(
+                *b, result,
+                "run diverged at {threads} threads from the 1-thread baseline"
+            ),
+        }
+    }
+    gfl_parallel::set_default_parallelism(0);
+}
+
+/// Tiny two-edge federation shared by every determinism test.
+fn world(
+    seed: u64,
+) -> (
+    GroupFelConfig,
+    gfl_nn::Network,
+    ClientPartition,
+    Topology,
+    Vec<Group>,
+    gfl_data::Dataset,
+    gfl_data::Dataset,
+) {
+    let seed = seed + seed_offset();
+    let data = SyntheticSpec::tiny().generate(600, seed);
+    let (train, test) = data.split_holdout(5);
+    let part = ClientPartition::dirichlet(&train, &PartitionSpec::tiny(0.5, seed));
+    let topo = Topology::even_split(2, part.sizes());
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 2,
+            max_cov: 1.0,
+        },
+        &topo,
+        &part.label_matrix,
+        seed,
+    );
+    let mut cfg = GroupFelConfig::tiny();
+    cfg.seed = seed;
+    (
+        cfg,
+        gfl_nn::zoo::tiny(4, 3),
+        part,
+        topo,
+        groups,
+        train,
+        test,
+    )
+}
+
+#[test]
+fn clean_run_is_bit_identical_across_thread_counts() {
+    let (cfg, model, part, _topo, groups, train, test) = world(31);
+    assert_bit_identical(|| {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        );
+        t.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov)
+    });
+}
+
+#[test]
+fn faulted_run_is_bit_identical_across_thread_counts() {
+    // Crashes, straggler cuts, corrupt rejections, outages, and quorum
+    // skips must all land on the same (t, k, client) coordinates — and in
+    // the same event-log order — no matter how units are scheduled.
+    let (cfg, model, part, topo, groups, train, test) = world(32);
+    assert_bit_identical(|| {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_faults(FaultPlan::moderate(99), FaultPolicy::default(), &topo);
+        let (h, p) = t.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        assert!(
+            !h.fault_events().is_empty(),
+            "plan should inject faults for this test to mean anything"
+        );
+        (h, p)
+    });
+}
+
+#[test]
+fn churned_self_healing_run_is_bit_identical_across_thread_counts() {
+    // The self-healing loop layers churn transitions and online regrouping
+    // on top of training; membership, regroup log, and model must all
+    // match across thread counts.
+    let (cfg, model, part, topo, _groups, train, test) = world(33);
+    let algo = CovGrouping {
+        min_group_size: 2,
+        max_cov: 1.0,
+    };
+    assert_bit_identical(|| {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_churn(
+            ChurnPlan {
+                horizon: cfg.global_rounds,
+                ..ChurnPlan::moderate(cfg.seed)
+            },
+            RegroupPolicy::default(),
+        );
+        let (h, p, m) = t
+            .run_self_healing(&algo, &topo, &FedAvg, SamplingStrategy::ESRCov)
+            .expect("self-healing run failed");
+        (h, p, m.groups)
+    });
+}
+
+#[test]
+fn secure_aggregation_run_is_bit_identical_across_thread_counts() {
+    // The pairwise-masking protocol's mask generation is keyed by (seed,
+    // t, k) and member ids only — never by scheduling — so the secure path
+    // must agree across thread counts too.
+    let (cfg, model, part, _topo, groups, train, test) = world(34);
+    let mut cfg = cfg;
+    cfg.secure_aggregation = true;
+    assert_bit_identical(|| {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        );
+        t.run_returning_params(&groups, &FedAvg, SamplingStrategy::Random)
+    });
+}

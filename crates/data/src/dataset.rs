@@ -78,10 +78,18 @@ impl Dataset {
 
     /// Gathers the given sample indices into a minibatch.
     pub fn batch(&self, indices: &[usize]) -> Batch {
-        Batch {
-            features: self.features.gather_rows(indices),
-            labels: indices.iter().map(|&i| self.labels[i]).collect(),
-        }
+        let mut out = Batch::empty();
+        self.batch_into(indices, &mut out);
+        out
+    }
+
+    /// [`Dataset::batch`] into a caller-owned [`Batch`], reusing its feature
+    /// and label buffers. The training hot path gathers one minibatch per
+    /// SGD step; this keeps those gathers allocation-free after warm-up.
+    pub fn batch_into(&self, indices: &[usize], out: &mut Batch) {
+        self.features.gather_rows_into(indices, &mut out.features);
+        out.labels.clear();
+        out.labels.extend(indices.iter().map(|&i| self.labels[i]));
     }
 
     /// Splits into (train, test) by taking every `k`-th sample into the test
@@ -108,6 +116,14 @@ impl Dataset {
 }
 
 impl Batch {
+    /// An empty batch, ready to be filled by [`Dataset::batch_into`].
+    pub fn empty() -> Self {
+        Self {
+            features: Matrix::zeros(0, 0),
+            labels: Vec::new(),
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.labels.len()
     }
@@ -151,6 +167,20 @@ mod tests {
         assert_eq!(b.labels, vec![1, 1]);
         assert_eq!(b.features.row(0), &[8.0, 9.0]);
         assert_eq!(b.features.row(1), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn batch_into_reuses_buffers_and_matches_batch() {
+        let d = toy();
+        let mut b = Batch::empty();
+        d.batch_into(&[4, 1, 0], &mut b);
+        let fresh = d.batch(&[4, 1, 0]);
+        assert_eq!(b.labels, fresh.labels);
+        assert_eq!(b.features, fresh.features);
+        // Refill with a different size: buffers are reused, contents replaced.
+        d.batch_into(&[2], &mut b);
+        assert_eq!(b.labels, vec![2]);
+        assert_eq!(b.features.row(0), d.features().row(2));
     }
 
     #[test]

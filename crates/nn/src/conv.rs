@@ -372,7 +372,9 @@ impl Cnn1d {
             .collect()
     }
 
-    /// Mean loss and accuracy over a labeled set (parallel over chunks).
+    /// Mean loss and accuracy over a labeled set (parallel over fixed-size
+    /// chunks, so the f32 reduction order — and hence the result — is
+    /// bit-identical for any thread count; see [`crate::EVAL_CHUNK`]).
     pub fn evaluate(&self, params: &[Scalar], features: &Matrix, labels: &[usize]) -> EvalResult {
         assert_eq!(features.rows(), labels.len());
         let n = labels.len();
@@ -383,24 +385,31 @@ impl Cnn1d {
                 examples: 0,
             };
         }
-        let threads = gfl_parallel::default_parallelism().clamp(1, n);
-        let ranges = gfl_parallel::chunk_ranges(n, threads);
-        let partials = gfl_parallel::par_map(&ranges, |&(s, e)| {
-            let mut ws = self.workspace();
-            self.prepare(&mut ws);
-            let mut probs = vec![0.0; self.classes];
-            let mut loss = 0.0f32;
-            let mut correct = 0usize;
-            for (r, &label) in labels.iter().enumerate().take(e).skip(s) {
-                self.forward_sample(params, features.row(r), &mut ws);
-                probs.copy_from_slice(&ws.logits);
-                let pred = ops::argmax(&probs);
-                ops::softmax(&mut probs);
-                loss += ops::cross_entropy(&probs, label);
-                correct += usize::from(pred == label);
-            }
-            (loss, correct)
-        });
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(crate::EVAL_CHUNK)
+            .map(|s| (s, (s + crate::EVAL_CHUNK).min(n)))
+            .collect();
+        let partials = gfl_parallel::par_map_init(
+            &ranges,
+            || {
+                let mut ws = self.workspace();
+                self.prepare(&mut ws);
+                (ws, vec![0.0; self.classes])
+            },
+            |(ws, probs), &(s, e)| {
+                let mut loss = 0.0f32;
+                let mut correct = 0usize;
+                for (r, &label) in labels.iter().enumerate().take(e).skip(s) {
+                    self.forward_sample(params, features.row(r), ws);
+                    probs.copy_from_slice(&ws.logits);
+                    let pred = ops::argmax(probs);
+                    ops::softmax(probs);
+                    loss += ops::cross_entropy(probs, label);
+                    correct += usize::from(pred == label);
+                }
+                (loss, correct)
+            },
+        );
         let (loss, correct) = partials
             .into_iter()
             .fold((0.0f32, 0usize), |(l, c), (pl, pc)| (l + pl, c + pc));

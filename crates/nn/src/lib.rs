@@ -28,3 +28,10 @@ pub use network::{Network, NetworkWorkspace};
 
 /// Flat model parameters. All federated aggregation operates on this.
 pub type Params = Vec<f32>;
+
+/// Row-chunk size used by the parallel `evaluate` paths.
+///
+/// Chunk boundaries depend only on this constant — never on the thread
+/// count — and chunk partials are folded in chunk order, so evaluation
+/// losses are bit-identical for any parallelism degree.
+pub(crate) const EVAL_CHUNK: usize = 256;

@@ -10,7 +10,7 @@
 //! `Δ_L = (P − Y)/B`, then `∇W_l = Δ_{l+1}ᵀ · A_l`, `∇b_l = colsum(Δ_{l+1})`,
 //! `Δ_l = (Δ_{l+1} · W_l) ⊙ relu'(A_l)`.
 
-use gfl_tensor::{init, ops, Matrix, Scalar};
+use gfl_tensor::{init, ops, Matrix, MatrixRef, Scalar};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -23,14 +23,20 @@ pub struct Mlp {
 }
 
 /// Reusable forward/backward buffers. One per training thread; created by
-/// [`Mlp::workspace`] and resized lazily when the batch size changes.
+/// [`Mlp::workspace`] and grown lazily to the largest batch seen. Buffers
+/// never shrink, so alternating batch sizes (full minibatch vs. epoch
+/// remainder) stop reallocating after the first epoch.
 #[derive(Debug, Default)]
 pub struct Workspace {
-    /// Activations per layer; `acts[0]` is the input batch copy.
+    /// Activations per layer; `acts[0]` is the input batch copy. Sized for
+    /// `cap` rows, of which the first `batch` are live.
     acts: Vec<Matrix>,
     /// Backprop deltas per non-input layer.
     deltas: Vec<Matrix>,
+    /// Live batch rows of the current pass.
     batch: usize,
+    /// Allocated row capacity.
+    cap: usize,
 }
 
 impl Mlp {
@@ -105,43 +111,38 @@ impl Mlp {
     }
 
     fn prepare_workspace(&self, ws: &mut Workspace, batch: usize) {
-        if ws.batch == batch && ws.acts.len() == self.dims.len() {
-            return;
+        if ws.acts.len() != self.dims.len() || ws.cap < batch {
+            let cap = batch.max(ws.cap);
+            ws.acts = self.dims.iter().map(|&d| Matrix::zeros(cap, d)).collect();
+            ws.deltas = self.dims[1..]
+                .iter()
+                .map(|&d| Matrix::zeros(cap, d))
+                .collect();
+            ws.cap = cap;
         }
-        ws.acts = self.dims.iter().map(|&d| Matrix::zeros(batch, d)).collect();
-        ws.deltas = self.dims[1..]
-            .iter()
-            .map(|&d| Matrix::zeros(batch, d))
-            .collect();
         ws.batch = batch;
     }
 
-    /// Runs the forward pass; afterwards `ws.acts.last()` holds the logits.
-    fn forward_into(&self, params: &[Scalar], x: &Matrix, ws: &mut Workspace) {
+    /// Runs the forward pass over a borrowed row view; afterwards the first
+    /// `x.rows()` rows of `ws.acts.last()` hold the logits.
+    fn forward_into(&self, params: &[Scalar], x: MatrixRef<'_>, ws: &mut Workspace) {
         assert_eq!(x.cols(), self.input_dim(), "input dim mismatch");
-        self.prepare_workspace(ws, x.rows());
-        ws.acts[0].as_mut_slice().copy_from_slice(x.as_slice());
+        let batch = x.rows();
+        self.prepare_workspace(ws, batch);
+        ws.acts[0].as_mut_slice()[..batch * self.dims[0]].copy_from_slice(x.as_slice());
         let layers = self.layers(params);
         for (l, &(w, b)) in layers.iter().enumerate() {
             let (o, i) = (self.dims[l + 1], self.dims[l]);
-            let wmat = MatrixView {
-                rows: o,
-                cols: i,
-                data: w,
-            };
             // acts[l+1] = acts[l] · Wᵀ + b  (+ relu except last layer)
             let (before, after) = ws.acts.split_at_mut(l + 1);
-            let input = &before[l];
-            let out = &mut after[0];
-            for r in 0..input.rows() {
-                let x_row = input.row(r);
-                let out_row = out.row_mut(r);
-                for (j, o_val) in out_row.iter_mut().enumerate() {
-                    *o_val = ops::dot(x_row, wmat.row(j)) + b[j];
-                }
+            let input = &before[l].as_slice()[..batch * i];
+            let out = &mut after[0].as_mut_slice()[..batch * o];
+            ops::gemm_nt(input, w, out, batch, o, i);
+            for r in 0..batch {
+                ops::add_assign(b, &mut out[r * o..(r + 1) * o]);
             }
-            if l + 1 < self.num_layers() + 1 && l != self.num_layers() - 1 {
-                ops::relu(out.as_mut_slice());
+            if l != self.num_layers() - 1 {
+                ops::relu(out);
             }
         }
     }
@@ -161,17 +162,17 @@ impl Mlp {
         assert_eq!(grad.len(), self.param_len(), "grad length mismatch");
         let batch = labels.len();
         assert!(batch > 0, "empty batch");
-        self.forward_into(params, features, ws);
+        self.forward_into(params, features.as_view(), ws);
 
         // Softmax + CE on the last activation; Δ_L = (P − Y)/B in place.
         let num_layers = self.num_layers();
         let logits_idx = num_layers;
+        let nc = self.num_classes();
         let mut loss = 0.0;
         {
             let last_delta = ws.deltas.last_mut().unwrap();
-            last_delta
-                .as_mut_slice()
-                .copy_from_slice(ws.acts[logits_idx].as_slice());
+            last_delta.as_mut_slice()[..batch * nc]
+                .copy_from_slice(&ws.acts[logits_idx].as_slice()[..batch * nc]);
             let inv_b = 1.0 / batch as Scalar;
             for (r, &label) in labels.iter().enumerate() {
                 let row = last_delta.row_mut(r);
@@ -192,20 +193,20 @@ impl Mlp {
             let (gw, rest) = grad[off..].split_at_mut(o * i);
             let gb = &mut rest[..o];
 
-            // ∇W_l = Δ_{l+1}ᵀ · A_l ; ∇b_l = colsum(Δ_{l+1})
+            // ∇W_l = Δ_{l+1}ᵀ · A_l (cache-blocked, ascending-row
+            // accumulation) ; ∇b_l = colsum(Δ_{l+1}).
             let delta = &ws.deltas[l];
             let act = &ws.acts[l];
-            for r in 0..delta.rows() {
-                let d_row = delta.row(r);
-                let a_row = act.row(r);
-                for (j, &dj) in d_row.iter().enumerate() {
-                    if dj != 0.0 {
-                        ops::axpy(dj, a_row, &mut gw[j * i..(j + 1) * i]);
-                        gb[j] += dj;
-                    } else {
-                        gb[j] += dj;
-                    }
-                }
+            ops::gemm_tn(
+                &delta.as_slice()[..batch * o],
+                &act.as_slice()[..batch * i],
+                gw,
+                batch,
+                o,
+                i,
+            );
+            for r in 0..batch {
+                ops::add_assign(delta.row(r), gb);
             }
 
             // Δ_l = (Δ_{l+1} · W_l) ⊙ relu'(A_l), skipped for the input.
@@ -214,15 +215,11 @@ impl Mlp {
                     let layers = self.layers(params);
                     layers[l].0
                 };
-                let wview = MatrixView {
-                    rows: o,
-                    cols: i,
-                    data: w,
-                };
+                let wview = MatrixRef::new(o, i, w);
                 let (lower, upper) = ws.deltas.split_at_mut(l);
                 let next_delta = &upper[0];
                 let this_delta = &mut lower[l - 1];
-                for r in 0..next_delta.rows() {
+                for r in 0..batch {
                     let src = next_delta.row(r);
                     let dst = this_delta.row_mut(r);
                     dst.fill(0.0);
@@ -243,15 +240,22 @@ impl Mlp {
         if features.rows() == 0 {
             return Vec::new();
         }
-        self.forward_into(params, features, ws);
+        self.forward_into(params, features.as_view(), ws);
         let logits = ws.acts.last().unwrap();
-        (0..logits.rows())
+        (0..features.rows())
             .map(|r| ops::argmax(logits.row(r)))
             .collect()
     }
 
-    /// Mean loss and accuracy over a labeled set. Parallelized over row
-    /// chunks via `gfl-parallel`; each worker gets its own workspace.
+    /// Mean loss and accuracy over a labeled set. Parallelized over
+    /// fixed-size row chunks via `gfl-parallel`; each worker reuses one
+    /// workspace across all the chunks it processes.
+    ///
+    /// Chunk boundaries and the reduction order are independent of the
+    /// thread count (chunks are [`crate::EVAL_CHUNK`] rows and partial
+    /// losses are folded in chunk order), so the f32 result is bit-identical
+    /// for any parallelism degree. Each chunk is forwarded over a row-range
+    /// view of `features` — no index buffer, no gather copy.
     pub fn evaluate(&self, params: &[Scalar], features: &Matrix, labels: &[usize]) -> EvalResult {
         assert_eq!(features.rows(), labels.len());
         let n = labels.len();
@@ -262,26 +266,28 @@ impl Mlp {
                 examples: 0,
             };
         }
-        let threads = gfl_parallel::default_parallelism().clamp(1, n);
-        let ranges = gfl_parallel::chunk_ranges(n, threads);
-        let partials = gfl_parallel::par_map(&ranges, |&(s, e)| {
-            let mut ws = self.workspace();
-            let idx: Vec<usize> = (s..e).collect();
-            let chunk = features.gather_rows(&idx);
-            self.forward_into(params, &chunk, &mut ws);
-            let logits = ws.acts.last().unwrap();
-            let mut loss = 0.0f32;
-            let mut correct = 0usize;
-            let mut probs = vec![0.0f32; self.num_classes()];
-            for (r, &label) in labels[s..e].iter().enumerate() {
-                probs.copy_from_slice(logits.row(r));
-                let pred = ops::argmax(&probs);
-                ops::softmax(&mut probs);
-                loss += ops::cross_entropy(&probs, label);
-                correct += usize::from(pred == label);
-            }
-            (loss, correct)
-        });
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(crate::EVAL_CHUNK)
+            .map(|s| (s, (s + crate::EVAL_CHUNK).min(n)))
+            .collect();
+        let partials = gfl_parallel::par_map_init(
+            &ranges,
+            || (self.workspace(), vec![0.0f32; self.num_classes()]),
+            |(ws, probs), &(s, e)| {
+                self.forward_into(params, features.view_rows(s, e), ws);
+                let logits = ws.acts.last().unwrap();
+                let mut loss = 0.0f32;
+                let mut correct = 0usize;
+                for (r, &label) in labels[s..e].iter().enumerate() {
+                    probs.copy_from_slice(logits.row(r));
+                    let pred = ops::argmax(probs);
+                    ops::softmax(probs);
+                    loss += ops::cross_entropy(probs, label);
+                    correct += usize::from(pred == label);
+                }
+                (loss, correct)
+            },
+        );
         let (loss_sum, correct) = partials
             .into_iter()
             .fold((0.0f32, 0usize), |(l, c), (pl, pc)| (l + pl, c + pc));
@@ -290,21 +296,6 @@ impl Mlp {
             accuracy: correct as Scalar / n as Scalar,
             examples: n,
         }
-    }
-}
-
-/// Borrowed row-major matrix view over a parameter slice.
-struct MatrixView<'a> {
-    rows: usize,
-    cols: usize,
-    data: &'a [Scalar],
-}
-
-impl<'a> MatrixView<'a> {
-    #[inline]
-    fn row(&self, r: usize) -> &'a [Scalar] {
-        debug_assert!(r < self.rows);
-        &self.data[r * self.cols..(r + 1) * self.cols]
     }
 }
 

@@ -1,0 +1,305 @@
+//! A persistent fork-join pool for borrowed parallel regions.
+//!
+//! The scope helpers used to spawn fresh OS threads through crossbeam scoped
+//! threads on every call; at one region per group round that is thousands of
+//! spawn/join cycles per simulation run. This module keeps one process-wide
+//! set of workers alive and broadcasts the region body to them, so entering a
+//! region costs a few channel sends and a latch wait instead of thread
+//! creation.
+//!
+//! # Safety model
+//!
+//! The region body borrows the caller's stack (`&(dyn Fn(usize) + Sync)`),
+//! but long-lived workers require `'static` jobs. [`region`] erases the
+//! lifetime with a raw pointer and restores soundness structurally: it never
+//! returns — not even by unwinding — until every broadcast job has finished
+//! executing, which the completion latch guarantees (worker panics are caught
+//! so they still count down).
+//!
+//! # Nesting
+//!
+//! Each thread tracks whether it is already executing inside a region via a
+//! thread-local flag. Nested [`region`] calls run the body sequentially on
+//! the current thread, so inner parallelism (e.g. `Network::evaluate` called
+//! from a parallel client-training region) cannot oversubscribe the machine.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+thread_local! {
+    static IN_REGION: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns true when the current thread is already executing inside a
+/// parallel region (as the caller or as a pool worker).
+///
+/// Code that would otherwise fan out (evaluation, vector kernels) can use
+/// this to stay sequential and avoid oversubscription; [`region`] itself
+/// already does so.
+pub fn in_region() -> bool {
+    IN_REGION.with(Cell::get)
+}
+
+/// RAII guard that marks the current thread as inside a region.
+struct RegionGuard {
+    prev: bool,
+}
+
+impl RegionGuard {
+    fn enter() -> Self {
+        let prev = IN_REGION.with(|c| c.replace(true));
+        Self { prev }
+    }
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_REGION.with(|c| c.set(prev));
+    }
+}
+
+/// Completion latch counting outstanding broadcast jobs of one region.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Self {
+            remaining: Mutex::new(jobs),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.done.wait(&mut remaining);
+        }
+    }
+}
+
+/// Lifetime-erased pointer to a region body living on the caller's stack.
+#[derive(Clone, Copy)]
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are fine) and
+// `region` keeps it alive until the latch confirms all workers are done.
+unsafe impl Send for TaskPtr {}
+
+struct Job {
+    task: TaskPtr,
+    participant: usize,
+    latch: Arc<Latch>,
+}
+
+struct ForkPool {
+    tx: Sender<Job>,
+    rx: Receiver<Job>,
+    spawned: Mutex<usize>,
+}
+
+/// Hard cap on pool size; far above any sane `--threads` request, it only
+/// bounds damage from a misconfigured environment.
+const MAX_WORKERS: usize = 256;
+
+static POOL: OnceLock<ForkPool> = OnceLock::new();
+
+fn pool() -> &'static ForkPool {
+    POOL.get_or_init(|| {
+        let (tx, rx) = unbounded();
+        ForkPool {
+            tx,
+            rx,
+            spawned: Mutex::new(0),
+        }
+    })
+}
+
+impl ForkPool {
+    /// Lazily grows the pool until at least `needed` workers exist.
+    fn ensure_workers(&'static self, needed: usize) {
+        let needed = needed.min(MAX_WORKERS);
+        let mut spawned = self.spawned.lock();
+        while *spawned < needed {
+            let id = *spawned;
+            let rx = self.rx.clone();
+            std::thread::Builder::new()
+                .name(format!("gfl-fork-{id}"))
+                .spawn(move || worker_loop(rx))
+                .expect("failed to spawn fork-pool worker");
+            *spawned += 1;
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        let _guard = RegionGuard::enter();
+        // SAFETY: `region` waits on the latch before returning, so the
+        // pointee outlives this call; we count down only after it finishes.
+        let body = unsafe { &*job.task.0 };
+        if catch_unwind(AssertUnwindSafe(|| body(job.participant))).is_err() {
+            job.latch.panicked.store(true, Ordering::SeqCst);
+        }
+        job.latch.count_down();
+    }
+}
+
+/// Runs `body(participant)` on `width` participants in parallel: the calling
+/// thread is participant 0 and pool workers take 1..`width`. Returns once
+/// every participant has finished.
+///
+/// Participants coordinate work among themselves (typically with an atomic
+/// index cursor over a shared slice). `width <= 1` and nested calls (from
+/// inside another region) degrade to `body(0)` on the current thread.
+///
+/// Panics in any participant are propagated to the caller after all
+/// participants have stopped.
+pub fn region<F>(width: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if width <= 1 || in_region() {
+        let _guard = RegionGuard::enter();
+        body(0);
+        return;
+    }
+
+    let pool = pool();
+    let helpers = width - 1;
+    pool.ensure_workers(helpers);
+    let latch = Arc::new(Latch::new(helpers));
+
+    let wide: &(dyn Fn(usize) + Sync) = &body;
+    // SAFETY: erases the borrow's lifetime. Sound because every path out of
+    // this function first waits on `latch`, which counts down exactly once
+    // per broadcast job after the pointee call (even on worker panic).
+    let task = TaskPtr(unsafe {
+        std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(wide)
+    });
+    for participant in 1..width {
+        pool.tx
+            .send(Job {
+                task,
+                participant,
+                latch: Arc::clone(&latch),
+            })
+            .expect("fork-pool workers exited");
+    }
+
+    let caller = {
+        let _guard = RegionGuard::enter();
+        catch_unwind(AssertUnwindSafe(|| body(0)))
+    };
+    // Must not unwind past here before the workers are done with `body`.
+    latch.wait();
+    if let Err(payload) = caller {
+        resume_unwind(payload);
+    }
+    if latch.panicked.load(Ordering::SeqCst) {
+        panic!("parallel region worker panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn region_runs_every_participant_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..6).map(|_| AtomicUsize::new(0)).collect();
+        region(6, |p| {
+            hits[p].fetch_add(1, Ordering::SeqCst);
+        });
+        for (p, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::SeqCst), 1, "participant {p}");
+        }
+    }
+
+    #[test]
+    fn width_one_runs_inline() {
+        let caller = std::thread::current().id();
+        region(1, |p| {
+            assert_eq!(p, 0);
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn nested_region_degrades_to_sequential() {
+        let inner_widths = Mutex::new(Vec::new());
+        region(4, |_| {
+            assert!(in_region());
+            region(4, |p| {
+                inner_widths.lock().push(p);
+            });
+        });
+        // Every nested call ran exactly its participant 0, inline.
+        let widths = inner_widths.lock();
+        assert_eq!(widths.len(), 4);
+        assert!(widths.iter().all(|&p| p == 0));
+        assert!(!in_region());
+    }
+
+    #[test]
+    fn regions_are_reusable_back_to_back() {
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            region(4, |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 400);
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_join() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            region(4, |p| {
+                if p == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(!in_region());
+        // The pool must still be usable afterwards.
+        let total = AtomicUsize::new(0);
+        region(4, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn caller_panic_propagates_after_join() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            region(3, |p| {
+                if p == 0 {
+                    panic!("caller boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert!(!in_region());
+    }
+}

@@ -3,43 +3,68 @@
 //! Algorithm 1 of the paper runs three nested "in parallel" loops: edge
 //! servers form groups in parallel, sampled groups train in parallel, and
 //! clients inside a group run local SGD in parallel. This crate provides the
-//! small set of data-parallel building blocks those loops need, built only on
-//! `crossbeam` scoped threads so borrowed data (model parameters, datasets)
-//! can cross into workers without `'static` bounds or unsafe code.
+//! small set of data-parallel building blocks those loops need, running on a
+//! persistent fork-join pool ([`fork`]) so regions cost channel sends rather
+//! than OS thread spawn/join cycles.
 //!
-//! Two execution styles are offered:
+//! Three execution styles are offered:
 //!
 //! * [`par_map`] / [`par_for_each_mut`] / [`par_reduce`]: fork-join regions
 //!   over slices, scheduled by atomic index stealing so uneven per-item work
 //!   (clients with very different data sizes) balances automatically.
+//! * [`par_map_init`] / [`par_for_each_init`]: the same, with worker-local
+//!   state built once per participating thread (scratch buffers, workspaces).
 //! * [`ThreadPool`]: a persistent pool for `'static` fire-and-forget jobs,
 //!   used by long-lived simulator services (e.g. background metric sinks).
 //!
 //! All entry points degrade gracefully to sequential execution when the
-//! requested parallelism is 1 or the input is tiny, so unit tests remain
-//! deterministic and cheap.
+//! requested parallelism is 1, the input is tiny, or the caller is already
+//! inside a parallel region (see [`fork::in_region`]), so unit tests remain
+//! deterministic and nested parallelism cannot oversubscribe the machine.
 
+pub mod fork;
 mod pool;
 mod scope;
 
+pub use fork::{in_region, region};
 pub use pool::ThreadPool;
-pub use scope::{par_for_each_mut, par_map, par_map_with, par_reduce, Chunking};
+pub use scope::{
+    par_for_each_init, par_for_each_mut, par_map, par_map_init, par_map_with, par_reduce, Chunking,
+};
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Global override for the default parallelism degree (0 = autodetect).
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// `GFL_THREADS` environment override, read once (0 = unset/invalid).
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("GFL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
 /// Returns the default degree of parallelism used by the fork-join helpers.
 ///
-/// Defaults to [`std::thread::available_parallelism`], but can be pinned via
-/// [`set_default_parallelism`] (useful to make benchmarks comparable across
-/// machines or to force sequential execution in tests).
+/// Resolution order: [`set_default_parallelism`] pin (e.g. the CLI
+/// `--threads` flag), then the `GFL_THREADS` environment variable, then
+/// [`std::thread::available_parallelism`]. Pinning keeps benchmarks
+/// comparable across machines and forces sequential execution in tests.
 pub fn default_parallelism() -> usize {
     let forced = DEFAULT_THREADS.load(Ordering::Relaxed);
     if forced > 0 {
         return forced;
+    }
+    let env = env_threads();
+    if env > 0 {
+        return env;
     }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)

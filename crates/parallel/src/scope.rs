@@ -1,14 +1,19 @@
-//! Fork-join regions over slices, implemented with crossbeam scoped threads.
+//! Fork-join helpers over slices, running on the persistent pool in
+//! [`crate::fork`].
 //!
-//! Scheduling is atomic index stealing: workers repeatedly claim the next
-//! unprocessed index (or chunk of indices) from a shared counter. This keeps
-//! load balanced when per-item cost is highly skewed — exactly the situation
-//! in federated simulation, where client dataset sizes span an order of
-//! magnitude (20–200 samples in the paper's setup).
+//! Scheduling is atomic index stealing: participants repeatedly claim the
+//! next unprocessed index (or run of indices) from a shared counter. This
+//! keeps load balanced when per-item cost is highly skewed — exactly the
+//! situation in federated simulation, where client dataset sizes span an
+//! order of magnitude (20–200 samples in the paper's setup).
+//!
+//! Outputs are written into fixed per-index slots, so results are always in
+//! input order regardless of which participant processed which item.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::default_parallelism;
+use crate::fork::region;
 
 /// Work-claiming granularity for the fork-join helpers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,9 +43,18 @@ impl Chunking {
     }
 }
 
+/// Shared raw pointer used to hand out disjoint element writes to
+/// participants. Each index is claimed exactly once through an atomic
+/// cursor, so no two threads ever touch the same element.
+struct SendPtr<T>(*mut T);
+
+// SAFETY: access is partitioned by the unique-claim protocol described above.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
 /// Applies `f` to every item of `items`, returning outputs in input order.
 ///
-/// Runs on up to [`default_parallelism`] scoped threads. `f` must be
+/// Runs on up to [`default_parallelism`] pool participants. `f` must be
 /// `Sync` because multiple workers call it concurrently.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -67,63 +81,101 @@ where
         return items.iter().map(f).collect();
     }
 
-    let mut out: Vec<Option<U>> = Vec::with_capacity(len);
-    out.resize_with(len, || None);
     let run = chunking.run_len(len, threads);
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    let out_ptr = SendPtr(out.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
-
-    // Hand each worker a disjoint set of output slots. We split the output
-    // into per-index cells via raw chunks of the Option buffer: using
-    // `chunks_mut(1)` would serialize, so instead we share `&out` through an
-    // UnsafeCell-free design: each claimed index is written by exactly one
-    // worker, which we express safely by splitting the buffer into
-    // single-element mutable slices distributed through a lock-free claim.
-    //
-    // Safe formulation: collect (index, value) pairs per worker, then write
-    // them after the join. This costs one extra buffer but avoids all
-    // aliasing subtleties and keeps the code obviously correct.
-    let pairs: Vec<Vec<(usize, U)>> = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let f = &f;
-            handles.push(s.spawn(move |_| {
-                let mut local: Vec<(usize, U)> = Vec::new();
-                loop {
-                    let start = cursor.fetch_add(run, Ordering::Relaxed);
-                    if start >= len {
-                        break;
-                    }
-                    let end = (start + run).min(len);
-                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                        local.push((i, f(item)));
-                    }
-                }
-                local
-            }));
+    region(threads, |_| {
+        let out_ptr = &out_ptr;
+        loop {
+            let start = cursor.fetch_add(run, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + run).min(len);
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                // SAFETY: slot `i` belongs to this claim alone, and the
+                // buffer has capacity `len`.
+                unsafe { out_ptr.0.add(i).write(f(item)) };
+            }
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker thread panicked");
+    });
+    // SAFETY: the cursor handed out every index in 0..len exactly once and
+    // `region` returned normally, so all slots are initialized. (If a worker
+    // panics, `region` unwinds before this point and the written elements
+    // leak — safe, and acceptable on the panic path.)
+    unsafe { out.set_len(len) };
+    out
+}
 
-    for worker_pairs in pairs {
-        for (i, v) in worker_pairs {
-            out[i] = Some(v);
-        }
+/// Like [`par_map`], but each participant first builds private state with
+/// `init` and threads it through all the items it processes.
+///
+/// This is the hook for expensive per-worker resources (scratch buffers,
+/// workspaces): `init` runs once per participating thread per call, not once
+/// per item. Note the state is per-*participant*, so anything observable in
+/// the output must not depend on which items shared a state instance.
+pub fn par_map_init<T, U, S, I, F>(items: &[T], init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> U + Sync,
+{
+    let len = items.len();
+    if len == 0 {
+        return Vec::new();
     }
-    out.into_iter()
-        .map(|v| v.expect("every index claimed exactly once"))
-        .collect()
+    let threads = default_parallelism().clamp(1, len);
+    if threads == 1 {
+        let mut state = init();
+        return items.iter().map(|item| f(&mut state, item)).collect();
+    }
+
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    region(threads, |_| {
+        let out_ptr = &out_ptr;
+        let mut state = init();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            // SAFETY: slot `i` was claimed exactly once (see par_map_with).
+            unsafe { out_ptr.0.add(i).write(f(&mut state, &items[i])) };
+        }
+    });
+    // SAFETY: every slot initialized; see par_map_with.
+    unsafe { out.set_len(len) };
+    out
 }
 
 /// Applies `f` to every element of `items` in place, in parallel.
 ///
-/// Elements are partitioned into contiguous chunks, one per worker, so each
-/// `&mut T` is held by exactly one thread.
+/// Indices are claimed one at a time through an atomic cursor, so each
+/// `&mut T` is handed to exactly one participant and skewed per-item cost
+/// balances automatically.
 pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
 where
     T: Send,
     F: Fn(usize, &mut T) + Sync,
+{
+    par_for_each_init(items, || (), |(), i, item| f(i, item));
+}
+
+/// [`par_for_each_mut`] with per-participant state, built once per
+/// participating thread via `init`.
+///
+/// This is the engine's client-training workhorse: `items` are per-client
+/// result slots, `init` borrows a pooled scratch buffer, and `f` runs one
+/// client's local SGD into its slot.
+pub fn par_for_each_init<T, S, I, F>(items: &mut [T], init: I, f: F)
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut T) + Sync,
 {
     let len = items.len();
     if len == 0 {
@@ -131,37 +183,36 @@ where
     }
     let threads = default_parallelism().clamp(1, len);
     if threads == 1 {
+        let mut state = init();
         for (i, item) in items.iter_mut().enumerate() {
-            f(i, item);
+            f(&mut state, i, item);
         }
         return;
     }
-    let ranges = crate::chunk_ranges(len, threads);
-    crossbeam::thread::scope(|s| {
-        let mut rest = items;
-        let mut offset = 0;
-        for &(start, end) in &ranges {
-            let (chunk, tail) = rest.split_at_mut(end - start);
-            rest = tail;
-            let f = &f;
-            let base = offset;
-            offset = end;
-            s.spawn(move |_| {
-                for (i, item) in chunk.iter_mut().enumerate() {
-                    f(base + i, item);
-                }
-            });
+    let base = SendPtr(items.as_mut_ptr());
+    let cursor = AtomicUsize::new(0);
+    region(threads, |_| {
+        let base = &base;
+        let mut state = init();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= len {
+                break;
+            }
+            // SAFETY: index `i` is claimed exactly once, so this is the only
+            // live `&mut` to the element.
+            let item = unsafe { &mut *base.0.add(i) };
+            f(&mut state, i, item);
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Parallel map-reduce: maps each item through `map` and folds the results
 /// with `reduce`, starting from `identity`.
 ///
 /// `reduce` must be associative and commutative with respect to `identity`
-/// for the result to be deterministic (per-worker partials are combined in
-/// worker order, but items are assigned to workers dynamically).
+/// for the result to be deterministic (per-participant partials are combined
+/// in participant order, but items are assigned to participants dynamically).
 pub fn par_reduce<T, A, M, R>(items: &[T], identity: A, map: M, reduce: R) -> A
 where
     T: Sync,
@@ -181,33 +232,30 @@ where
     }
     let cursor = AtomicUsize::new(0);
     let run = Chunking::Auto.run_len(len, threads);
-    let partials: Vec<A> = crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let cursor = &cursor;
-            let map = &map;
-            let reduce = &reduce;
-            let id = identity.clone();
-            handles.push(s.spawn(move |_| {
-                let mut acc = id;
-                loop {
-                    let start = cursor.fetch_add(run, Ordering::Relaxed);
-                    if start >= len {
-                        break;
-                    }
-                    let end = (start + run).min(len);
-                    for item in &items[start..end] {
-                        acc = reduce(acc, map(item));
-                    }
-                }
-                acc
-            }));
+    // Seed one accumulator per participant up front (the closure must not
+    // capture `identity` itself — that would demand `A: Sync`).
+    let mut partials: Vec<Option<A>> = (0..threads).map(|_| Some(identity.clone())).collect();
+    let partials_ptr = SendPtr(partials.as_mut_ptr());
+    region(threads, |participant| {
+        let partials_ptr = &partials_ptr;
+        // SAFETY: each participant id appears exactly once per region, so
+        // this is the only live `&mut` to slot `participant`.
+        let acc = unsafe { &mut *partials_ptr.0.add(participant) };
+        let mut acc = acc.take().expect("accumulator seeded above");
+        loop {
+            let start = cursor.fetch_add(run, Ordering::Relaxed);
+            if start >= len {
+                break;
+            }
+            let end = (start + run).min(len);
+            for item in &items[start..end] {
+                acc = reduce(acc, map(item));
+            }
         }
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker thread panicked");
-
-    partials.into_iter().fold(identity, reduce)
+        // SAFETY: same unique slot as above.
+        unsafe { partials_ptr.0.add(participant).write(Some(acc)) };
+    });
+    partials.into_iter().flatten().fold(identity, reduce)
 }
 
 #[cfg(test)]
@@ -245,6 +293,23 @@ mod tests {
     }
 
     #[test]
+    fn par_map_init_matches_sequential_and_reuses_state() {
+        let items: Vec<u64> = (0..300).collect();
+        // State counts how many items this participant processed; the output
+        // must not depend on it, but init must have run at least once.
+        let out = par_map_init(
+            &items,
+            || 0u64,
+            |count, &x| {
+                *count += 1;
+                x + 1
+            },
+        );
+        let expected: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
     fn par_for_each_mut_touches_every_element_once() {
         let mut items = vec![0u32; 1000];
         par_for_each_mut(&mut items, |i, v| *v += i as u32 + 1);
@@ -257,6 +322,19 @@ mod tests {
     fn par_for_each_mut_empty_is_noop() {
         let mut items: Vec<u8> = Vec::new();
         par_for_each_mut(&mut items, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_for_each_init_writes_every_slot() {
+        let mut items: Vec<(usize, bool)> = (0..500).map(|i| (i, false)).collect();
+        par_for_each_init(&mut items, Vec::<u8>::new, |scratch, i, slot| {
+            scratch.clear();
+            scratch.extend_from_slice(&[1, 2, 3]);
+            assert_eq!(slot.0, i);
+            assert!(!slot.1, "slot {i} visited twice");
+            slot.1 = true;
+        });
+        assert!(items.iter().all(|&(_, seen)| seen));
     }
 
     #[test]
@@ -287,5 +365,19 @@ mod tests {
         });
         assert_eq!(out.len(), 64);
         assert_eq!(out[1], 1);
+    }
+
+    #[test]
+    fn nested_par_map_is_sequential_but_correct() {
+        let outer: Vec<u64> = (0..16).collect();
+        let out = par_map(&outer, |&x| {
+            let inner: Vec<u64> = (0..8).collect();
+            par_map(&inner, |&y| x * 100 + y).iter().sum::<u64>()
+        });
+        let expected: Vec<u64> = outer
+            .iter()
+            .map(|&x| (0..8).map(|y| x * 100 + y).sum::<u64>())
+            .collect();
+        assert_eq!(out, expected);
     }
 }

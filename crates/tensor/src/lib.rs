@@ -24,7 +24,7 @@ pub mod matrix;
 pub mod ops;
 pub mod stats;
 
-pub use matrix::Matrix;
+pub use matrix::{Matrix, MatrixRef};
 
 /// Crate-wide floating point type. The paper's workloads are f32 end-to-end.
 pub type Scalar = f32;

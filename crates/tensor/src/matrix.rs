@@ -100,19 +100,21 @@ impl Matrix {
 
     /// `out = self · otherᵀ`, i.e. `out[i][j] = self.row(i) · other.row(j)`.
     ///
-    /// Both operands are traversed row-contiguously, so this is the preferred
-    /// kernel for `X · Wᵀ` layer forward passes.
+    /// Both operands are traversed row-contiguously and the loops are
+    /// cache-blocked (see [`ops::gemm_nt`]), so this is the preferred kernel
+    /// for `X · Wᵀ` layer forward passes.
     pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_nt: inner dim mismatch");
         assert_eq!(out.rows, self.rows, "matmul_nt: out rows");
         assert_eq!(out.cols, other.rows, "matmul_nt: out cols");
-        for i in 0..self.rows {
-            let xi = self.row(i);
-            let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = ops::dot(xi, other.row(j));
-            }
-        }
+        ops::gemm_nt(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            other.rows,
+            self.cols,
+        );
     }
 
     /// Allocating variant of [`Matrix::matmul_nt_into`].
@@ -124,23 +126,21 @@ impl Matrix {
 
     /// `out = selfᵀ · other`, i.e. `out[i][j] = Σ_k self[k][i] * other[k][j]`.
     ///
-    /// This is the `∇W = ∇Yᵀ · X` backward kernel. Implemented as a rank-1
-    /// update accumulation so the inner loop stays contiguous in `other`.
+    /// This is the `∇W = ∇Yᵀ · X` backward kernel. Implemented as cache-
+    /// blocked rank-1 update accumulation (see [`ops::gemm_tn`]) so the inner
+    /// loop stays contiguous in `other` and the output tile stays resident.
     pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "matmul_tn: inner dim mismatch");
         assert_eq!(out.rows, self.cols, "matmul_tn: out rows");
         assert_eq!(out.cols, other.cols, "matmul_tn: out cols");
-        out.data.fill(0.0);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a != 0.0 {
-                    let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                    ops::axpy(a, b_row, out_row);
-                }
-            }
-        }
+        ops::gemm_tn(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
     }
 
     /// Allocating variant of [`Matrix::matmul_tn_into`].
@@ -214,11 +214,87 @@ impl Matrix {
     /// Selects the given rows into a new matrix (gathers a minibatch).
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
+        self.gather_rows_into(indices, &mut out);
+        out
+    }
+
+    /// [`Matrix::gather_rows`] into a caller-owned matrix, reshaped to
+    /// `indices.len() × self.cols` while reusing its backing buffer. This is
+    /// the zero-allocation minibatch gather for the training hot path.
+    pub fn gather_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.resize(indices.len(), self.cols);
         for (dst, &src) in indices.iter().enumerate() {
             assert!(src < self.rows, "gather_rows: index out of range");
             out.row_mut(dst).copy_from_slice(self.row(src));
         }
-        out
+    }
+
+    /// Reshapes to `rows × cols`, reusing the backing buffer when capacity
+    /// allows. Existing element values are unspecified afterwards (newly
+    /// grown elements are zero).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Borrowed view of the whole matrix.
+    pub fn as_view(&self) -> MatrixRef<'_> {
+        MatrixRef {
+            rows: self.rows,
+            cols: self.cols,
+            data: &self.data,
+        }
+    }
+
+    /// Borrowed view of the row range `start..end` — no copy, just a
+    /// reinterpretation of the contiguous row-major buffer. Used to forward
+    /// evaluation chunks without gathering them first.
+    pub fn view_rows(&self, start: usize, end: usize) -> MatrixRef<'_> {
+        assert!(start <= end && end <= self.rows, "view_rows: range");
+        MatrixRef {
+            rows: end - start,
+            cols: self.cols,
+            data: &self.data[start * self.cols..end * self.cols],
+        }
+    }
+}
+
+/// Borrowed row-major matrix view: a row range of a [`Matrix`], or any flat
+/// slice reinterpreted with a shape (e.g. a weight block inside a flat
+/// parameter vector).
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixRef<'a> {
+    rows: usize,
+    cols: usize,
+    data: &'a [Scalar],
+}
+
+impl<'a> MatrixRef<'a> {
+    /// Wraps a slice. Panics if `data.len() != rows * cols`.
+    pub fn new(rows: usize, cols: usize, data: &'a [Scalar]) -> Self {
+        assert_eq!(data.len(), rows * cols, "view size mismatch");
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The backing row-major slice.
+    pub fn as_slice(&self) -> &'a [Scalar] {
+        self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &'a [Scalar] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
     }
 }
 
@@ -294,6 +370,32 @@ mod tests {
         assert_eq!(g.row(0), &[30.0, 31.0]);
         assert_eq!(g.row(1), &[0.0, 1.0]);
         assert_eq!(g.row(2), &[30.0, 31.0]);
+    }
+
+    #[test]
+    fn gather_rows_into_reuses_buffer_and_matches_gather() {
+        let a = Matrix::from_fn(6, 3, |r, c| (r * 10 + c) as f32);
+        let mut out = Matrix::zeros(2, 5); // wrong shape on purpose
+        a.gather_rows_into(&[5, 1, 5, 0], &mut out);
+        assert_eq!(out, a.gather_rows(&[5, 1, 5, 0]));
+        // Shrinking must also work and reuse capacity.
+        a.gather_rows_into(&[2], &mut out);
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.row(0), a.row(2));
+    }
+
+    #[test]
+    fn view_rows_aliases_without_copy() {
+        let a = Matrix::from_fn(5, 4, |r, c| (r * 4 + c) as f32);
+        let v = a.view_rows(1, 4);
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 4);
+        assert_eq!(v.row(0), a.row(1));
+        assert_eq!(v.row(2), a.row(3));
+        assert_eq!(v.as_slice(), &a.as_slice()[4..16]);
+        let full = a.as_view();
+        assert_eq!(full.rows(), 5);
+        assert_eq!(full.as_slice(), a.as_slice());
     }
 
     #[test]
