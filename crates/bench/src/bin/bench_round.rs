@@ -97,6 +97,9 @@ fn main() {
         }
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Expose the counting allocator to the observability layer so traced
+    // runs report allocs/round from the same counter this harness uses.
+    gfl_obs::alloc::register_alloc_counter(|| ALLOCS.load(Ordering::Relaxed));
     let (trainer, groups) = build_paper_scale(rounds);
     let param_count = trainer.model().param_len();
 
@@ -109,23 +112,31 @@ fn main() {
     for threads in [1usize, 2, 4, 8] {
         gfl_parallel::set_default_parallelism(threads);
         let alloc_start = ALLOCS.load(Ordering::Relaxed);
+        let pool_start = gfl_parallel::stats::snapshot();
         let t0 = Instant::now();
         let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
         let secs = t0.elapsed().as_secs_f64();
         let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+        let pool = gfl_parallel::stats::snapshot().since(pool_start);
         assert_eq!(h, reference, "thread count changed the result");
         let per_round = secs / rounds as f64;
         eprintln!(
-            "threads={threads:2}  {:7.3} s/round  {:9.4} rounds/s  {:8} allocs/round",
+            "threads={threads:2}  {:7.3} s/round  {:9.4} rounds/s  {:8} allocs/round  pool util {:5.1}%  steals {}",
             per_round,
             1.0 / per_round,
-            allocs / rounds as u64
+            allocs / rounds as u64,
+            pool.utilization() * 100.0,
+            pool.steals
         );
         results.push(serde_json::json!({
             "threads": threads,
             "seconds_per_round": per_round,
             "rounds_per_sec": 1.0 / per_round,
             "allocs_per_round": allocs / rounds as u64,
+            "pool_utilization": pool.utilization(),
+            "pool_regions": pool.regions,
+            "pool_claims": pool.claims,
+            "pool_steals": pool.steals,
         }));
         per_rounds.push(per_round);
     }

@@ -1,0 +1,108 @@
+//! Allocation guard for the observability layer.
+//!
+//! The engine's instrumentation is `Option`-gated: with no collector
+//! attached every instrument site is `None.map(..)` — no clock reads, no
+//! span pushes, no allocation. This test pins that down with a counting
+//! global allocator: warm steady-state rounds with tracing disabled must
+//! allocate *exactly* the same number of times run over run (any hidden
+//! per-round growth or disabled-path bookkeeping would break equality),
+//! and the traced run's extra allocations must stay bounded.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, Trainer};
+use gfl_core::grouping::CovGrouping;
+use gfl_core::local::FedAvg;
+use gfl_core::sampling::SamplingStrategy;
+use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
+use gfl_sim::Topology;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn tiny_world() -> (Trainer, Vec<Vec<usize>>) {
+    let data = SyntheticSpec::tiny().generate(600, 5);
+    let (train, test) = data.split_holdout(5);
+    let partition = ClientPartition::dirichlet(&train, &PartitionSpec::tiny(0.5, 5));
+    let topology = Topology::even_split(2, partition.sizes());
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 2,
+            max_cov: 1.0,
+        },
+        &topology,
+        &partition.label_matrix,
+        5,
+    );
+    let mut config = GroupFelConfig::tiny();
+    config.seed = 5;
+    (
+        Trainer::new(config, gfl_nn::zoo::tiny(4, 3), train, partition, test),
+        groups,
+    )
+}
+
+fn allocs_of(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn disabled_tracing_adds_no_allocations_to_the_hot_loop() {
+    // Single-threaded so the worker pool does not allocate on its own
+    // schedule mid-measurement.
+    gfl_parallel::set_default_parallelism(1);
+    let (trainer, groups) = tiny_world();
+
+    // Warm-up populates lazily-initialized caches (datasets paged, scratch
+    // pools sized); afterwards the untraced loop is in steady state.
+    trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+    let untraced_a = allocs_of(|| {
+        trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+    });
+    let untraced_b = allocs_of(|| {
+        trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+    });
+    assert_eq!(
+        untraced_a, untraced_b,
+        "untraced steady-state runs must allocate identically"
+    );
+
+    // With a collector attached the run allocates extra (span records, the
+    // JSONL buffers are out of scope here) — but the overhead must stay
+    // small relative to the workload itself.
+    let (t2, groups2) = tiny_world();
+    let obs = gfl_obs::TraceCollector::new();
+    let traced_trainer = t2.with_observer(std::sync::Arc::clone(&obs));
+    traced_trainer.run(&groups2, &FedAvg, SamplingStrategy::ESRCov);
+    let traced = allocs_of(|| {
+        traced_trainer.run(&groups2, &FedAvg, SamplingStrategy::ESRCov);
+    });
+    assert!(
+        traced < untraced_a * 2 + 10_000,
+        "tracing overhead exploded: {traced} allocs vs {untraced_a} untraced"
+    );
+    gfl_parallel::set_default_parallelism(0);
+}

@@ -117,7 +117,9 @@ ROBUST AGGREGATION (group-level, Line 14):
 
 OUTPUT:
   --csv PATH         write the trajectory as CSV
-  --checkpoint PATH  write a resumable snapshot at the end";
+  --checkpoint PATH  write a resumable snapshot at the end
+  --trace-out PATH   write a JSONL run trace (docs/OBSERVABILITY.md)
+  --metrics          print the end-of-run metrics summary table";
 
 /// `gfl simulate`.
 pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
@@ -188,6 +190,8 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let mu: f32 = args.get("mu", 0.1, "float")?;
     let csv_path = args.get_opt("csv");
     let checkpoint_path = args.get_opt("checkpoint");
+    let trace_out = args.get_opt("trace-out");
+    let show_metrics = args.get_flag("metrics")?;
     let faults = parse_faults(&args, seed)?;
     let churn = parse_churn(&args, seed, config.global_rounds)?;
     let robust = parse_robust_agg(&args)?;
@@ -203,7 +207,14 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     // --- model: pick by feature dimensionality ---
     let model = model_for(&train, task);
     let param_count = model.param_len();
-    let mut trainer = Trainer::new(config.clone(), model, train, partition, test);
+    let mut trainer = Trainer::try_new(config.clone(), model, train, partition, test)
+        .map_err(|e| CommandError::Invalid(e.to_string()))?;
+    // Observation is one-way: attaching a collector never changes results
+    // (asserted by crates/core/tests/determinism.rs).
+    let observer = (trace_out.is_some() || show_metrics).then(gfl_obs::TraceCollector::new);
+    if let Some(obs) = &observer {
+        trainer = trainer.with_observer(std::sync::Arc::clone(obs));
+    }
     let faults_on = faults.is_some();
     if let Some((plan, policy)) = faults {
         trainer = trainer.with_faults(plan, policy, &topology);
@@ -319,6 +330,66 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         cp.save(&path)
             .map_err(|e| CommandError::Invalid(e.to_string()))?;
         writeln!(out, "wrote {path}")?;
+    }
+    if let Some(obs) = observer {
+        let trace = obs.finish(effective_threads);
+        if show_metrics {
+            write_metrics_summary(out, &trace)?;
+        }
+        if let Some(path) = trace_out {
+            trace
+                .save(&path)
+                .map_err(|e| CommandError::Invalid(format!("cannot write trace: {e}")))?;
+            writeln!(out, "wrote {path}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders the `--metrics` end-of-run summary table from a finished trace.
+fn write_metrics_summary(out: &mut dyn Write, trace: &gfl_obs::Trace) -> std::io::Result<()> {
+    let summary = trace
+        .summary
+        .as_ref()
+        .expect("finished traces carry a summary");
+    let secs = |ns: u64| ns as f64 / 1e9;
+    writeln!(out, "\n=== run metrics ===")?;
+    writeln!(out, "rounds traced:   {}", summary.rounds)?;
+    writeln!(out, "wall time:       {:.3} s", secs(summary.wall_ns))?;
+    writeln!(out, "phase coverage:  {:.1}%", summary.coverage * 100.0)?;
+    writeln!(out, "\nspan kind        count     total")?;
+    for t in &summary.span_totals {
+        writeln!(
+            out,
+            "{:<14} {:>7} {:>8.3} s",
+            t.kind.label(),
+            t.count,
+            secs(t.total_ns)
+        )?;
+    }
+    let metrics = &summary.metrics;
+    if !metrics.counters.is_empty() {
+        writeln!(out, "\ncounter                     value")?;
+        for c in &metrics.counters {
+            writeln!(out, "{:<24} {:>9}", c.name, c.value)?;
+        }
+    }
+    if !metrics.gauges.is_empty() {
+        writeln!(out, "\ngauge                       value")?;
+        for g in &metrics.gauges {
+            writeln!(out, "{:<24} {:>9.3}", g.name, g.value)?;
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        writeln!(out, "\nhistogram              count      mean")?;
+        for h in &metrics.histograms {
+            let mean = if h.count > 0 {
+                h.sum / h.count as f64
+            } else {
+                0.0
+            };
+            writeln!(out, "{:<20} {:>7} {:>7.3} ms", h.name, h.count, mean)?;
+        }
     }
     Ok(())
 }
@@ -963,6 +1034,36 @@ mod tests {
         };
         assert_eq!(tail(&out1), tail(&out2));
         gfl_parallel::set_default_parallelism(0);
+    }
+
+    #[test]
+    fn simulate_traced_session_writes_valid_jsonl_and_metrics() {
+        let path = std::env::temp_dir().join(format!("gfl_cli_trace_{}.jsonl", std::process::id()));
+        let (r, out) = run_cmd(
+            simulate,
+            &format!(
+                "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+                 --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+                 --metrics --trace-out {}",
+                path.display()
+            ),
+        );
+        r.unwrap();
+        assert!(out.contains("=== run metrics ==="), "{out}");
+        assert!(out.contains("rounds.total"), "{out}");
+        let trace = gfl_obs::TraceReader::read(&path).expect("trace must parse");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(trace.rounds.len(), 2);
+        assert!(trace.summary.is_some());
+    }
+
+    #[test]
+    fn simulate_zero_rounds_is_a_typed_error_not_a_panic() {
+        let (r, _) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --min-gs 2 --rounds 0",
+        );
+        assert!(matches!(r.unwrap_err(), CommandError::Invalid(_)));
     }
 
     #[test]

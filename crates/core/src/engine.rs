@@ -21,11 +21,13 @@ use gfl_data::{ClientPartition, Dataset, LabelMatrix};
 use gfl_faults::{ChurnPlan, FaultEvent, FaultInjector, FaultPlan, FaultPolicy};
 use gfl_nn::sgd::LrSchedule;
 use gfl_nn::{Network, Params};
+use gfl_obs::{RoundMetrics, SpanAttrs, SpanKind, TraceCollector};
 use gfl_sim::{CommModel, CostLedger, CostModel, Task, Topology};
 use gfl_tensor::init;
 use gfl_tensor::{ops, Scalar};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::cov::group_cov;
 use crate::grouping::{GroupingAlgorithm, PartitionError};
@@ -147,7 +149,38 @@ pub struct Trainer {
     churn: Option<ChurnState>,
     robust_agg: RobustAggRule,
     scratch: ScratchPool,
+    obs: Option<Arc<TraceCollector>>,
 }
+
+/// A structurally invalid [`GroupFelConfig`] / data combination, caught by
+/// [`Trainer::try_new`] before any training state is built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `global_rounds` is 0 — the run would produce an empty trajectory.
+    ZeroGlobalRounds,
+    /// `group_rounds` is 0 — groups would never train (Line 10's `K`).
+    ZeroGroupRounds,
+    /// `eval_every` is 0 — the evaluation cadence would divide by zero.
+    ZeroEvalCadence,
+    /// The model's input width does not match the dataset's feature width.
+    DimensionMismatch { model: usize, data: usize },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroGlobalRounds => write!(f, "global_rounds must be positive"),
+            ConfigError::ZeroGroupRounds => write!(f, "group_rounds must be positive"),
+            ConfigError::ZeroEvalCadence => write!(f, "eval_every must be positive"),
+            ConfigError::DimensionMismatch { model, data } => write!(
+                f,
+                "model/data dimension mismatch: model expects {model} features, data has {data}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Fault-injection context of a faulted run: the decision oracle, the
 /// degradation policy, and the models needed to turn decisions into
@@ -284,6 +317,7 @@ struct RoundReport {
 }
 
 impl Trainer {
+    /// [`Trainer::try_new`] that panics on an invalid configuration.
     pub fn new(
         config: GroupFelConfig,
         model: Network,
@@ -291,14 +325,38 @@ impl Trainer {
         partition: ClientPartition,
         test: Dataset,
     ) -> Self {
-        assert_eq!(
-            model.input_dim(),
-            train.feature_dim(),
-            "model/data dimension mismatch"
-        );
-        assert!(config.global_rounds > 0 && config.group_rounds > 0);
-        assert!(config.eval_every > 0, "eval_every must be positive");
-        Self {
+        Self::try_new(config, model, train, partition, test)
+            .unwrap_or_else(|e| panic!("invalid Group-FEL configuration: {e}"))
+    }
+
+    /// Validates the configuration against the data and builds a trainer,
+    /// returning a typed [`ConfigError`] instead of panicking. Zero-round
+    /// configurations (`global_rounds = 0`) are rejected here: they would
+    /// otherwise produce an empty [`RunHistory`] that downstream consumers
+    /// (reports, checkpoints, golden traces) cannot interpret.
+    pub fn try_new(
+        config: GroupFelConfig,
+        model: Network,
+        train: Dataset,
+        partition: ClientPartition,
+        test: Dataset,
+    ) -> Result<Self, ConfigError> {
+        if model.input_dim() != train.feature_dim() {
+            return Err(ConfigError::DimensionMismatch {
+                model: model.input_dim(),
+                data: train.feature_dim(),
+            });
+        }
+        if config.global_rounds == 0 {
+            return Err(ConfigError::ZeroGlobalRounds);
+        }
+        if config.group_rounds == 0 {
+            return Err(ConfigError::ZeroGroupRounds);
+        }
+        if config.eval_every == 0 {
+            return Err(ConfigError::ZeroEvalCadence);
+        }
+        Ok(Self {
             config,
             model,
             train,
@@ -308,7 +366,19 @@ impl Trainer {
             churn: None,
             robust_agg: RobustAggRule::Mean,
             scratch: ScratchPool::new(),
-        }
+            obs: None,
+        })
+    }
+
+    /// Attaches a [`TraceCollector`]: every subsequent run records spans,
+    /// per-round metrics, and event tallies into it. Observation is strictly
+    /// one-way — nothing the collector measures feeds back into simulation
+    /// state — so traced runs are bit-identical to untraced ones (asserted
+    /// by the determinism suite). Without a collector the instrumentation
+    /// path is a `None` check: no allocations, no atomics on the hot loop.
+    pub fn with_observer(mut self, obs: Arc<TraceCollector>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Enables deterministic fault injection for every subsequent run.
@@ -529,6 +599,13 @@ impl Trainer {
         let cfg = &self.config;
         let total_samples = self.train.len();
         let s = cfg.sampled_groups.clamp(1, groups.len());
+        // Observation is read-only: timestamps and counter snapshots are
+        // taken around the simulation sections but never feed back into
+        // them, keeping traced runs bit-identical to untraced ones.
+        let obs = self.obs.as_deref();
+        let round_start = obs.map(|o| o.now_ns());
+        let pool_before = obs.map(|_| gfl_parallel::stats::snapshot());
+        let allocs_before = obs.map(|_| gfl_obs::alloc::current_allocs());
         {
             let lr = cfg.lr.at(t);
             // Sampling randomness is a pure function of (seed, t) so that a
@@ -570,6 +647,18 @@ impl Trainer {
                 .map(|&gi| (gi, groups[gi].as_slice()))
                 .collect();
             let outcomes = self.train_groups(params, &group_refs, strategy, t, lr);
+
+            let train_end = obs.map(|o| {
+                let end = o.now_ns();
+                o.record_span_at(
+                    SpanKind::Train,
+                    round_start.unwrap(),
+                    end,
+                    SpanAttrs::round(t),
+                );
+                end
+            });
+            let mut comm_ns = 0u64;
 
             // Charge Eq. 5 for every group that attempted the round.
             for o in &outcomes {
@@ -613,6 +702,7 @@ impl Trainer {
                         .injector
                         .upload_failures(t, o.group, fs.policy.max_retries);
                     if failures > 0 {
+                        let retry_start = obs.map(|ob| ob.now_ns());
                         let payload = fs.comm.group_cloud_bytes(params.len());
                         let retry = fs.comm.upload_with_retries(
                             payload,
@@ -627,7 +717,19 @@ impl Trainer {
                             extra_seconds: retry.seconds,
                             extra_bytes: retry.bytes,
                         });
-                        if !retry.delivered {
+                        let delivered = retry.delivered;
+                        if let Some(ob) = obs {
+                            let start = retry_start.unwrap();
+                            let end = ob.now_ns();
+                            comm_ns += end.saturating_sub(start);
+                            ob.record_span_at(
+                                SpanKind::UploadRetry,
+                                start,
+                                end,
+                                SpanAttrs::group(t, o.group),
+                            );
+                        }
+                        if !delivered {
                             round_events.push(FaultEvent::UploadLost {
                                 round: t,
                                 group: o.group,
@@ -658,14 +760,42 @@ impl Trainer {
                 .collect();
             strategy.end_global_round(&participants);
 
+            // Aggregate phase = charge + degradation + Line 15, minus the
+            // upload-retry (comm) time carved out above, so the four phase
+            // durations stay disjoint.
+            let agg_end = obs.map(|ob| {
+                let end = ob.now_ns();
+                let start = train_end.unwrap();
+                let wall = end.saturating_sub(start);
+                ob.record_span_at(
+                    SpanKind::Aggregate,
+                    start,
+                    start + wall.saturating_sub(comm_ns),
+                    SpanAttrs::round(t),
+                );
+                if comm_ns > 0 {
+                    ob.record_span_at(SpanKind::Comm, start, start + comm_ns, SpanAttrs::round(t));
+                }
+                end
+            });
+
             let train_loss = outcomes.iter().map(|o| o.train_loss).sum::<Scalar>()
                 / outcomes.len().max(1) as Scalar;
 
+            let fault_events = round_events.len() as u64;
             history.record_faults(round_events);
 
             let over_budget = cfg.cost_budget.is_some_and(|b| ledger.total() >= b);
+            let mut eval_ns = 0u64;
             if t.is_multiple_of(cfg.eval_every) || last || over_budget {
+                let eval_start = obs.map(|ob| ob.now_ns());
                 let eval = self.evaluate(params);
+                if let Some(ob) = obs {
+                    let start = eval_start.unwrap();
+                    let end = ob.now_ns();
+                    eval_ns = end.saturating_sub(start);
+                    ob.record_span_at(SpanKind::Eval, start, end, SpanAttrs::round(t));
+                }
                 history.push(RoundRecord {
                     round: t,
                     cost: ledger.total(),
@@ -674,6 +804,52 @@ impl Trainer {
                     train_loss,
                 });
             }
+
+            if let Some(ob) = obs {
+                let start = round_start.unwrap();
+                let end = ob.now_ns();
+                ob.record_span_at(SpanKind::Round, start, end, SpanAttrs::round(t));
+                let train_ns = train_end.unwrap().saturating_sub(start);
+                let agg_wall = agg_end.unwrap().saturating_sub(train_end.unwrap());
+                let pool = gfl_parallel::stats::snapshot().since(pool_before.unwrap());
+                let allocs =
+                    gfl_obs::alloc::current_allocs().saturating_sub(allocs_before.unwrap());
+                let clients_trained: u64 = outcomes
+                    .iter()
+                    .map(|o| (o.members.len() * cfg.group_rounds) as u64)
+                    .sum();
+                ob.record_round(RoundMetrics {
+                    round: t as u64,
+                    wall_ns: end.saturating_sub(start),
+                    train_ns,
+                    aggregate_ns: agg_wall.saturating_sub(comm_ns),
+                    comm_ns,
+                    eval_ns,
+                    groups_trained: outcomes.len() as u64,
+                    clients_trained,
+                    fault_events,
+                    cost_total: ledger.total(),
+                    pool_regions: pool.regions,
+                    pool_claims: pool.claims,
+                    pool_steals: pool.steals,
+                    pool_utilization: pool.utilization(),
+                    allocs,
+                });
+                let m = ob.metrics();
+                m.counter("rounds.total").inc();
+                m.counter("events.faults").add(fault_events);
+                m.counter("clients.trained").add(clients_trained);
+                m.gauge("cost.total").set(ledger.total());
+                m.gauge("pool.utilization").set(pool.utilization());
+                let ms = |ns: u64| ns as f64 / 1e6;
+                let buckets = &gfl_obs::metrics::PHASE_MS_BUCKETS;
+                m.histogram("round.train_ms", buckets).observe(ms(train_ns));
+                m.histogram("round.aggregate_ms", buckets)
+                    .observe(ms(agg_wall.saturating_sub(comm_ns)));
+                m.histogram("round.comm_ms", buckets).observe(ms(comm_ns));
+                m.histogram("round.eval_ms", buckets).observe(ms(eval_ns));
+            }
+
             RoundReport {
                 over_budget,
                 sampled,
@@ -757,7 +933,9 @@ impl Trainer {
     ) -> Result<(), PartitionError> {
         let labels = &self.partition.label_matrix;
         let plan = self.churn.as_ref().map(|c| &c.plan);
+        let obs = self.obs.as_deref();
         for t in start_round..start_round + rounds {
+            let regroup_start = obs.map(|ob| ob.now_ns());
             let mut events = Vec::new();
             if let Some(plan) = plan {
                 events.extend(membership.apply_churn(plan, t, labels, topology));
@@ -770,6 +948,16 @@ impl Trainer {
                 self.config.seed,
                 sampling,
             )?);
+            if let Some(ob) = obs {
+                ob.record_span(
+                    SpanKind::Regroup,
+                    regroup_start.unwrap(),
+                    SpanAttrs::round(t),
+                );
+                ob.metrics()
+                    .counter("events.regroups")
+                    .add(events.len() as u64);
+            }
             history.record_regroups(events);
             // CoVs shift with membership, so a healing policy refreshes
             // sampling probabilities every round; a frozen policy keeps
@@ -791,11 +979,20 @@ impl Trainer {
                 .collect();
             if effective.iter().all(|g: &Group| g.is_empty()) {
                 // Nobody is reachable: hold the round outright.
+                let held_start = obs.map(|ob| ob.now_ns());
                 history.record_fault(FaultEvent::RoundHeld { round: t });
                 ledger.end_round();
                 let last = t + 1 == start_round + rounds;
+                let mut eval_ns = 0u64;
                 if t.is_multiple_of(self.config.eval_every) || last {
+                    let eval_start = obs.map(|ob| ob.now_ns());
                     let eval = self.evaluate(params);
+                    if let Some(ob) = obs {
+                        let start = eval_start.unwrap();
+                        let end = ob.now_ns();
+                        eval_ns = end.saturating_sub(start);
+                        ob.record_span_at(SpanKind::Eval, start, end, SpanAttrs::round(t));
+                    }
                     history.push(RoundRecord {
                         round: t,
                         cost: ledger.total(),
@@ -803,6 +1000,19 @@ impl Trainer {
                         loss: eval.loss,
                         train_loss: 0.0,
                     });
+                }
+                if let Some(ob) = obs {
+                    let start = held_start.unwrap();
+                    let end = ob.now_ns();
+                    ob.record_span_at(SpanKind::Round, start, end, SpanAttrs::round(t));
+                    let mut m = RoundMetrics::empty(t);
+                    m.wall_ns = end.saturating_sub(start);
+                    m.eval_ns = eval_ns;
+                    m.fault_events = 1;
+                    m.cost_total = ledger.total();
+                    ob.record_round(m);
+                    ob.metrics().counter("rounds.total").inc();
+                    ob.metrics().counter("events.faults").inc();
                 }
                 continue;
             }
@@ -916,8 +1126,10 @@ impl Trainer {
             })
             .collect();
         let total_units: usize = groups.iter().map(|&(_, g)| g.len()).sum();
+        let obs = self.obs.as_deref();
 
         for k in 0..cfg.group_rounds {
+            let k_start = obs.map(|ob| ob.now_ns());
             // Flatten this group round into per-client units. Splitting a
             // ctx into its fields lets each unit hold the group model
             // immutably alongside a mutable borrow of its own slot.
@@ -946,7 +1158,19 @@ impl Trainer {
                 &mut units,
                 || self.scratch.acquire(&self.model),
                 |scratch, _i, unit| {
-                    self.run_unit(t, k, lr, global, strategy, unit, scratch.get_mut())
+                    // Client-step spans are timed around the unit from the
+                    // worker thread; the mutex push happens after the unit's
+                    // simulation work is complete and touches no shared
+                    // simulation state.
+                    let step_start = obs.map(|ob| ob.now_ns());
+                    self.run_unit(t, k, lr, global, strategy, unit, scratch.get_mut());
+                    if let Some(ob) = obs {
+                        ob.record_span(
+                            SpanKind::ClientStep,
+                            step_start.unwrap(),
+                            SpanAttrs::client_step(t, k, unit.gi, unit.client),
+                        );
+                    }
                 },
             );
             drop(units);
@@ -1013,6 +1237,14 @@ impl Trainer {
                         .collect();
                     ops::weighted_sum_into(&views, &weights, &mut ctx.group_params);
                 }
+            }
+
+            if let Some(ob) = obs {
+                ob.record_span(
+                    SpanKind::GroupRound,
+                    k_start.unwrap(),
+                    SpanAttrs::group_round(t, k),
+                );
             }
         }
 
@@ -1236,7 +1468,7 @@ mod tests {
             trainer.test.clone(),
         );
         let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
-        let first = h.records().first().unwrap().accuracy;
+        let first = h.first_record().expect("eval on cadence").accuracy;
         let best = h.best_accuracy();
         assert!(
             best > first + 0.1 || best > 0.8,
@@ -1296,8 +1528,93 @@ mod tests {
             trainer.test.clone(),
         );
         let h = trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
-        let last = h.records().last().unwrap();
+        let last = h.last_record().expect("eval on cadence");
         assert!(last.round < 49, "budget should stop before round 50");
+    }
+
+    #[test]
+    fn zero_round_configs_are_typed_errors_not_panics() {
+        let (trainer, _groups) = tiny_world(8);
+        let build = |cfg: GroupFelConfig, model: Network| match Trainer::try_new(
+            cfg,
+            model,
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("invalid configuration must be rejected"),
+        };
+
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.global_rounds = 0;
+        assert_eq!(
+            build(cfg, trainer.model.clone()),
+            ConfigError::ZeroGlobalRounds
+        );
+
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.group_rounds = 0;
+        assert_eq!(
+            build(cfg, trainer.model.clone()),
+            ConfigError::ZeroGroupRounds
+        );
+
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.eval_every = 0;
+        assert_eq!(
+            build(cfg, trainer.model.clone()),
+            ConfigError::ZeroEvalCadence
+        );
+
+        let err = build(GroupFelConfig::tiny(), gfl_nn::zoo::tiny(9, 3));
+        assert!(matches!(
+            err,
+            ConfigError::DimensionMismatch { model: 9, .. }
+        ));
+    }
+
+    #[test]
+    fn observer_records_rounds_and_phase_spans() {
+        let (trainer, groups) = tiny_world(9);
+        let obs = gfl_obs::TraceCollector::new();
+        let trainer = Trainer::try_new(
+            trainer.config.clone(),
+            trainer.model.clone(),
+            trainer.train.clone(),
+            trainer.partition.clone(),
+            trainer.test.clone(),
+        )
+        .unwrap()
+        .with_observer(std::sync::Arc::clone(&obs));
+        let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        let trace = obs.finish(gfl_parallel::default_parallelism());
+        let rounds = trainer.config.global_rounds as u64;
+        assert_eq!(trace.rounds.len() as u64, rounds);
+        let summary = trace.summary.as_ref().unwrap();
+        assert_eq!(summary.rounds, rounds);
+        assert_eq!(summary.metrics.counter("rounds.total"), Some(rounds));
+        // One Round/Train/Aggregate span per round, K GroupRound spans each.
+        let per_kind = |k| trace.spans.iter().filter(|s| s.kind == k).count() as u64;
+        assert_eq!(per_kind(SpanKind::Round), rounds);
+        assert_eq!(per_kind(SpanKind::Train), rounds);
+        assert_eq!(per_kind(SpanKind::Aggregate), rounds);
+        assert_eq!(
+            per_kind(SpanKind::GroupRound),
+            rounds * trainer.config.group_rounds as u64
+        );
+        assert!(per_kind(SpanKind::ClientStep) > 0);
+        // Evaluation runs every round under the tiny config's cadence.
+        assert_eq!(per_kind(SpanKind::Eval), h.records().len() as u64);
+        // The four phase durations never exceed round wall time.
+        for r in &trace.rounds {
+            assert!(r.train_ns + r.aggregate_ns + r.comm_ns + r.eval_ns <= r.wall_ns);
+            assert!(r.clients_trained > 0);
+        }
+        assert!(
+            trace.round_coverage() > 0.5,
+            "tiny rounds are mostly phases"
+        );
     }
 
     #[test]

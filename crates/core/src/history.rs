@@ -102,6 +102,18 @@ impl RunHistory {
         self.records.is_empty()
     }
 
+    /// The earliest evaluation record, if any round was evaluated. Prefer
+    /// this over `records().first().unwrap()` — a zero-round or fully-held
+    /// run produces an empty trajectory.
+    pub fn first_record(&self) -> Option<&RoundRecord> {
+        self.records.first()
+    }
+
+    /// The latest evaluation record, if any round was evaluated.
+    pub fn last_record(&self) -> Option<&RoundRecord> {
+        self.records.last()
+    }
+
     /// Final accuracy (0.0 for an empty history).
     pub fn final_accuracy(&self) -> Scalar {
         self.records.last().map_or(0.0, |r| r.accuracy)
@@ -194,6 +206,15 @@ mod tests {
         assert_eq!(h.final_accuracy(), 0.0);
         assert_eq!(h.best_accuracy(), 0.0);
         assert!(h.cost_to_accuracy(0.1).is_none());
+        assert!(h.first_record().is_none());
+        assert!(h.last_record().is_none());
+    }
+
+    #[test]
+    fn first_and_last_record_bracket_the_trajectory() {
+        let h = hist();
+        assert_eq!(h.first_record().unwrap().round, 0);
+        assert_eq!(h.last_record().unwrap().round, 3);
     }
 
     #[test]

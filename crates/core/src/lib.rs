@@ -58,7 +58,9 @@ pub type Group = Vec<usize>;
 /// Convenient re-exports of the full pipeline.
 pub mod prelude {
     pub use crate::cov::group_cov;
-    pub use crate::engine::{form_groups_per_edge, GroupFelConfig, RobustAggRule, Trainer};
+    pub use crate::engine::{
+        form_groups_per_edge, ConfigError, GroupFelConfig, RobustAggRule, Trainer,
+    };
     pub use crate::grouping::{
         CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
     };

@@ -165,6 +165,53 @@ fn churned_self_healing_run_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn traced_run_is_bit_identical_to_untraced_run() {
+    // Tracing observes wall-clock time, which differs every run — but none
+    // of it may leak into simulation state. A run with a collector attached
+    // (and a trace sink written) must produce byte-identical history and
+    // final parameters to the untraced run, at 1 and 8 threads alike.
+    let (cfg, model, part, _topo, groups, train, test) = world(35);
+    let make = || {
+        Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+    };
+    let _guard = THREAD_PIN.lock().unwrap_or_else(|e| e.into_inner());
+    gfl_parallel::set_default_parallelism(1);
+    let (base_h, base_p) = make().run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+    let base_h_bytes = serde_json::to_string(&base_h).expect("serialize history");
+
+    for threads in [1usize, 8] {
+        gfl_parallel::set_default_parallelism(threads);
+        let obs = gfl_obs::TraceCollector::new();
+        let traced = make().with_observer(std::sync::Arc::clone(&obs));
+        let (h, p) = traced.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        let trace = obs.finish(threads);
+
+        assert_eq!(
+            base_h_bytes,
+            serde_json::to_string(&h).expect("serialize history"),
+            "traced history diverged at {threads} threads"
+        );
+        assert_eq!(base_h, h);
+        assert_eq!(
+            base_p, p,
+            "traced final params diverged at {threads} threads"
+        );
+        // The trace itself must be well-formed: write out, read back.
+        let jsonl = trace.to_jsonl();
+        let back = gfl_obs::TraceReader::parse(&jsonl).expect("trace parses");
+        assert_eq!(back.rounds.len(), cfg.global_rounds);
+        assert_eq!(back.meta.threads, threads as u64);
+    }
+    gfl_parallel::set_default_parallelism(0);
+}
+
+#[test]
 fn secure_aggregation_run_is_bit_identical_across_thread_counts() {
     // The pairwise-masking protocol's mask generation is keyed by (seed,
     // t, k) and member ids only — never by scheduling — so the secure path

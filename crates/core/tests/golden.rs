@@ -1,0 +1,232 @@
+//! Golden-trace regression tests: canonical `RunHistory` snapshots.
+//!
+//! Each scenario (clean, faulted, churned/self-healing, secure) runs a
+//! small fixed federation at two fixed seeds and compares the serialized
+//! `RunHistory` — evaluation records, fault log, and regroup log — field
+//! by field against a committed JSON snapshot under `tests/golden/`. Any
+//! behavioral drift in sampling, training, aggregation, fault injection,
+//! or healing shows up as a precise first-divergence diff.
+//!
+//! ## Regenerating snapshots (blessing)
+//!
+//! When a change *intentionally* alters trajectories, regenerate with:
+//!
+//! ```text
+//! GFL_BLESS=1 cargo test -p gfl-core --test golden
+//! ```
+//!
+//! then inspect `git diff crates/core/tests/golden/` and commit the new
+//! snapshots together with the change that explains them.
+//!
+//! Unlike the determinism suite, these tests deliberately **ignore**
+//! `GFL_SEED`: snapshots are pinned to fixed seeds so the same goldens
+//! hold in every CI shard. Thread count is also irrelevant — the
+//! determinism suite proves trajectories are thread-count invariant.
+
+use gfl_core::membership::RegroupPolicy;
+use gfl_core::prelude::*;
+use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
+use gfl_faults::{ChurnPlan, FaultPlan, FaultPolicy};
+use gfl_sim::Topology;
+use serde::Value;
+
+/// Fixed seeds every scenario is snapshotted at.
+const GOLDEN_SEEDS: [u64; 2] = [1, 2];
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Tiny two-edge federation, mirroring the determinism suite's world but
+/// with no seed shifting.
+fn world(
+    seed: u64,
+) -> (
+    GroupFelConfig,
+    gfl_nn::Network,
+    ClientPartition,
+    Topology,
+    Vec<Group>,
+    gfl_data::Dataset,
+    gfl_data::Dataset,
+) {
+    let data = SyntheticSpec::tiny().generate(600, seed);
+    let (train, test) = data.split_holdout(5);
+    let part = ClientPartition::dirichlet(&train, &PartitionSpec::tiny(0.5, seed));
+    let topo = Topology::even_split(2, part.sizes());
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 2,
+            max_cov: 1.0,
+        },
+        &topo,
+        &part.label_matrix,
+        seed,
+    );
+    let mut cfg = GroupFelConfig::tiny();
+    cfg.seed = seed;
+    (
+        cfg,
+        gfl_nn::zoo::tiny(4, 3),
+        part,
+        topo,
+        groups,
+        train,
+        test,
+    )
+}
+
+fn run_scenario(name: &str, seed: u64) -> RunHistory {
+    let (cfg, model, part, topo, groups, train, test) = world(seed);
+    match name {
+        "clean" => {
+            let t = Trainer::new(cfg, model, train, part, test);
+            t.run(&groups, &FedAvg, SamplingStrategy::ESRCov)
+        }
+        "faulted" => {
+            let t = Trainer::new(cfg, model, train, part, test).with_faults(
+                FaultPlan::moderate(99 + seed),
+                FaultPolicy::default(),
+                &topo,
+            );
+            t.run(&groups, &FedAvg, SamplingStrategy::ESRCov)
+        }
+        "churned" => {
+            let horizon = cfg.global_rounds;
+            let churn_seed = cfg.seed;
+            let t = Trainer::new(cfg, model, train, part, test).with_churn(
+                ChurnPlan {
+                    horizon,
+                    ..ChurnPlan::moderate(churn_seed)
+                },
+                RegroupPolicy::default(),
+            );
+            let algo = CovGrouping {
+                min_group_size: 2,
+                max_cov: 1.0,
+            };
+            let (h, _, _) = t
+                .run_self_healing(&algo, &topo, &FedAvg, SamplingStrategy::ESRCov)
+                .expect("self-healing run failed");
+            h
+        }
+        "secure" => {
+            let mut cfg = cfg;
+            cfg.secure_aggregation = true;
+            let t = Trainer::new(cfg, model, train, part, test);
+            t.run(&groups, &FedAvg, SamplingStrategy::Random)
+        }
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+/// Recursively compares two JSON values, returning the path and values of
+/// the first divergence (objects by key, arrays by index, depth-first).
+fn first_divergence(path: &str, expected: &Value, actual: &Value) -> Option<String> {
+    match (expected, actual) {
+        (Value::Object(e), Value::Object(a)) => {
+            for (key, ev) in e {
+                let sub = format!("{path}.{key}");
+                match a.iter().find(|(k, _)| k == key) {
+                    None => return Some(format!("{sub}: missing in actual")),
+                    Some((_, av)) => {
+                        if let Some(d) = first_divergence(&sub, ev, av) {
+                            return Some(d);
+                        }
+                    }
+                }
+            }
+            for (key, _) in a {
+                if !e.iter().any(|(k, _)| k == key) {
+                    return Some(format!("{path}.{key}: unexpected in actual"));
+                }
+            }
+            None
+        }
+        (Value::Array(e), Value::Array(a)) => {
+            for (i, (ev, av)) in e.iter().zip(a.iter()).enumerate() {
+                if let Some(d) = first_divergence(&format!("{path}[{i}]"), ev, av) {
+                    return Some(d);
+                }
+            }
+            if e.len() != a.len() {
+                return Some(format!(
+                    "{path}: length {} expected, {} actual",
+                    e.len(),
+                    a.len()
+                ));
+            }
+            None
+        }
+        (e, a) if e == a => None,
+        (e, a) => Some(format!("{path}: expected {e:?}, actual {a:?}")),
+    }
+}
+
+fn check_golden(scenario: &str, seed: u64) {
+    let history = run_scenario(scenario, seed);
+    let rendered = serde_json::to_string_pretty(&history).expect("serialize history");
+    let file = golden_dir().join(format!("{scenario}_seed{seed}.json"));
+
+    if std::env::var("GFL_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&file, rendered + "\n").expect("write golden snapshot");
+        return;
+    }
+
+    let expected_text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); regenerate with \
+             GFL_BLESS=1 cargo test -p gfl-core --test golden",
+            file.display()
+        )
+    });
+    let expected: Value = serde_json::from_str(&expected_text).expect("parse golden snapshot");
+    let actual: Value = serde_json::from_str(&rendered).expect("parse current history");
+    if let Some(divergence) = first_divergence("history", &expected, &actual) {
+        panic!(
+            "golden trace {scenario} (seed {seed}) diverged.\n  first divergence: {divergence}\n\
+             If this change is intentional, re-bless with \
+             GFL_BLESS=1 cargo test -p gfl-core --test golden and commit the diff."
+        );
+    }
+}
+
+#[test]
+fn golden_clean_histories_match() {
+    for seed in GOLDEN_SEEDS {
+        check_golden("clean", seed);
+    }
+}
+
+#[test]
+fn golden_faulted_histories_match() {
+    for seed in GOLDEN_SEEDS {
+        check_golden("faulted", seed);
+    }
+}
+
+#[test]
+fn golden_churned_histories_match() {
+    for seed in GOLDEN_SEEDS {
+        check_golden("churned", seed);
+    }
+}
+
+#[test]
+fn golden_secure_histories_match() {
+    for seed in GOLDEN_SEEDS {
+        check_golden("secure", seed);
+    }
+}
+
+#[test]
+fn divergence_reporting_finds_the_first_differing_field() {
+    let a: Value = serde_json::from_str(r#"{"x":[{"y":1.5},{"y":2.0}],"z":"s"}"#).unwrap();
+    let b: Value = serde_json::from_str(r#"{"x":[{"y":1.5},{"y":2.5}],"z":"s"}"#).unwrap();
+    let d = first_divergence("h", &a, &b).expect("must diverge");
+    assert!(d.starts_with("h.x[1].y:"), "got {d}");
+    assert_eq!(first_divergence("h", &a, &a), None);
+}

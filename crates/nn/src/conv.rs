@@ -541,4 +541,55 @@ mod tests {
         let p2 = c.init_params(&mut rng(7));
         assert_eq!(p1, p2);
     }
+
+    #[test]
+    fn speech_cnn_gradient_matches_central_differences() {
+        // The paper-scale model: conv(1→8,k5) → pool → conv(8→16,k3) →
+        // pool → fc(160→35). Sampled coordinates sweep all six parameter
+        // blocks (conv1/conv2/fc weights and biases) so the same-padding
+        // boundary handling, max-pool argmax routing, and ReLU gating are
+        // all exercised against central differences. Tolerance: 1e-4
+        // absolute plus a 1% relative guard for f32 rounding in the
+        // two-sided loss evaluations.
+        let crate::network::Network::Cnn(c) = crate::zoo::speech_cnn() else {
+            panic!("speech_cnn must be the Cnn1d variant");
+        };
+        let mut r = rng(12);
+        let params = c.init_params(&mut r);
+        let features = Matrix::from_fn(3, c.input_dim(), |_, _| init::normal(&mut r, 0.0, 1.0));
+        let labels = vec![0usize, 17, 34];
+        let mut grad = vec![0.0; c.param_len()];
+        let mut ws = c.workspace();
+        c.loss_and_grad(&params, &features, &labels, &mut grad, &mut ws);
+
+        // Every block start (hits channel-0/kernel-0 boundary weights) plus
+        // a stride sweep across the whole vector, ~160 coordinates total.
+        let mut coords: Vec<usize> = c.blocks().to_vec();
+        let stride = (c.param_len() / 150).max(1);
+        coords.extend((0..c.param_len()).step_by(stride));
+        coords.sort_unstable();
+        coords.dedup();
+
+        let eps = 1e-2f32;
+        let mut dummy = vec![0.0; c.param_len()];
+        let mut worst = 0.0f32;
+        for &k in &coords {
+            let mut pp = params.clone();
+            pp[k] += eps;
+            let mut pm = params.clone();
+            pm[k] -= eps;
+            let lp = c.loss_and_grad(&pp, &features, &labels, &mut dummy, &mut ws);
+            let lm = c.loss_and_grad(&pm, &features, &labels, &mut dummy, &mut ws);
+            let fd = (lp - lm) / (2.0 * eps);
+            let diff = (grad[k] - fd).abs();
+            let tol = 1e-4 + 1e-2 * fd.abs().max(grad[k].abs());
+            assert!(
+                diff <= tol,
+                "param {k}: backprop {} vs central diff {fd} (|Δ| {diff} > tol {tol})",
+                grad[k]
+            );
+            worst = worst.max(diff);
+        }
+        assert!(worst.is_finite());
+    }
 }

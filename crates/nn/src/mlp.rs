@@ -454,4 +454,36 @@ mod tests {
         let r = mlp.evaluate(&params, &Matrix::zeros(0, 2), &[]);
         assert_eq!(r.examples, 0);
     }
+
+    #[test]
+    fn batched_forward_matches_per_sample_forward_bitwise() {
+        // The chunked evaluate path relies on this: each output row of a
+        // batched forward must be the bit-exact result of forwarding that
+        // row alone, because gemm rows are independent full-k dot products.
+        // Batch size 33 deliberately exercises a non-round row count.
+        let mlp = Mlp::new(vec![6, 16, 9, 5]);
+        let mut r = rng(11);
+        let params = mlp.init_params(&mut r);
+        let batch = 33;
+        let features = Matrix::from_fn(batch, mlp.input_dim(), |_, _| {
+            init::normal(&mut r, 0.0, 1.0)
+        });
+
+        let mut batched_ws = mlp.workspace();
+        mlp.forward_into(&params, features.as_view(), &mut batched_ws);
+        let batched = batched_ws.acts.last().unwrap().clone();
+
+        let mut single_ws = mlp.workspace();
+        for row in 0..batch {
+            mlp.forward_into(&params, features.view_rows(row, row + 1), &mut single_ws);
+            let single = single_ws.acts.last().unwrap().row(0);
+            for (c, (&b, &s)) in batched.row(row).iter().zip(single.iter()).enumerate() {
+                assert_eq!(
+                    b.to_bits(),
+                    s.to_bits(),
+                    "logit ({row}, {c}) differs: batched {b} vs per-sample {s}"
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,32 @@
+//! Allocation-counter hook.
+//!
+//! `gfl-obs` does not own a global allocator — `gfl-bench` already installs
+//! a counting allocator for its round benchmarks. Instead, any binary that
+//! counts allocations can register a reader here and the engine's per-round
+//! metrics pick it up automatically:
+//!
+//! ```
+//! // In a binary with a counting #[global_allocator]:
+//! fn read_allocs() -> u64 { /* load the atomic */ 0 }
+//! gfl_obs::alloc::register_alloc_counter(read_allocs);
+//! assert_eq!(gfl_obs::alloc::current_allocs(), 0);
+//! ```
+//!
+//! When no counter is registered, [`current_allocs`] returns 0 and per-round
+//! `allocs` deltas are all zero.
+
+use std::sync::OnceLock;
+
+static HOOK: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Registers the process-wide allocation counter. The first registration
+/// wins; later calls are ignored (registration is idempotent by design so
+/// tests can race).
+pub fn register_alloc_counter(f: fn() -> u64) {
+    let _ = HOOK.set(f);
+}
+
+/// Current allocation count from the registered hook (0 if none).
+pub fn current_allocs() -> u64 {
+    HOOK.get().map(|f| f()).unwrap_or(0)
+}

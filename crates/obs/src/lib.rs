@@ -1,0 +1,168 @@
+//! Deterministic observability for the Group-FEL simulator.
+//!
+//! `gfl-obs` gives every run a measurement substrate — spans, metrics, and a
+//! JSONL trace file — without ever touching simulation state. The design
+//! invariant is simple and absolute:
+//!
+//! > **Timing flows out of the simulation, never back in.** A
+//! > [`TraceCollector`] observes wall-clock durations and event tallies, but
+//! > no simulated quantity (RNG draws, aggregation order, cost accounting)
+//! > depends on anything the collector records. Runs are therefore
+//! > bit-identical with tracing on, off, or at any thread count — a property
+//! > asserted by the determinism suite in `gfl-core`.
+//!
+//! Three layers (see `docs/OBSERVABILITY.md` for the full catalog):
+//!
+//! * [`span::SpanRecord`] — timed intervals in the hierarchy
+//!   `round > group_round > client_step`, plus `aggregate`, `eval`,
+//!   `regroup`, `upload_retry` and the synthetic `train` / `comm` phase
+//!   spans. Timestamps are nanoseconds relative to collector creation
+//!   (monotonic clock).
+//! * [`metrics::MetricsRegistry`] — named counters, gauges, and fixed-bucket
+//!   histograms. The engine records per-round phase times, pool utilization
+//!   and steal counts (from `gfl_parallel::stats`), allocations per round
+//!   (via [`alloc`]), fault/churn/regroup tallies, and simulated cost.
+//! * [`trace`] — a versioned JSONL sink ([`trace::Trace::save`]) and the
+//!   [`trace::TraceReader`] tests use to assert on runs structurally.
+//!
+//! The collector is designed for a disabled-by-default world: when no
+//! collector is attached the instrumented code paths are `Option::None`
+//! checks with zero allocations and zero atomics on the hot loop.
+
+pub mod alloc;
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanAttrs, SpanKind, SpanRecord};
+pub use trace::{
+    RoundMetrics, RunSummary, SpanTotal, Trace, TraceError, TraceMeta, TraceReader, SCHEMA_VERSION,
+};
+
+/// Collects spans, per-round metrics, and registry metrics for one run.
+///
+/// Cheap to share (`Arc`), safe to record into from worker threads. All
+/// methods take `&self`; interior mutability is a pair of mutex-guarded
+/// vectors (span/round records) plus the lock-free [`MetricsRegistry`].
+pub struct TraceCollector {
+    start: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    rounds: Mutex<Vec<RoundMetrics>>,
+    metrics: MetricsRegistry,
+}
+
+impl TraceCollector {
+    /// Creates a collector; the monotonic clock starts now.
+    pub fn new() -> Arc<Self> {
+        Arc::new(TraceCollector {
+            start: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            rounds: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// Nanoseconds since the collector was created (monotonic).
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Records a span that started at `start_ns` (from [`Self::now_ns`]) and
+    /// ends now.
+    pub fn record_span(&self, kind: SpanKind, start_ns: u64, attrs: SpanAttrs) {
+        let end = self.now_ns();
+        self.record_span_at(kind, start_ns, end, attrs);
+    }
+
+    /// Records a span with explicit start and end timestamps.
+    pub fn record_span_at(&self, kind: SpanKind, start_ns: u64, end_ns: u64, attrs: SpanAttrs) {
+        let rec = SpanRecord {
+            kind,
+            start_ns,
+            dur_ns: end_ns.saturating_sub(start_ns),
+            round: attrs.round,
+            group_round: attrs.group_round,
+            group: attrs.group,
+            client: attrs.client,
+        };
+        self.spans.lock().unwrap().push(rec);
+    }
+
+    /// Appends one round's phase breakdown and tallies.
+    pub fn record_round(&self, metrics: RoundMetrics) {
+        self.rounds.lock().unwrap().push(metrics);
+    }
+
+    /// The named-metric registry (counters / gauges / histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Number of rounds recorded so far.
+    pub fn rounds_recorded(&self) -> usize {
+        self.rounds.lock().unwrap().len()
+    }
+
+    /// Freezes the collector into a [`Trace`]: spans sorted by start time,
+    /// per-round metrics in round order, and a computed [`RunSummary`].
+    ///
+    /// `threads` is recorded in the trace meta line for reproducibility.
+    pub fn finish(&self, threads: usize) -> Trace {
+        let mut spans = self.spans.lock().unwrap().clone();
+        // Worker threads push client_step spans in nondeterministic order;
+        // sort so the serialized trace is stable given identical timings.
+        spans.sort_by_key(|s| (s.start_ns, s.dur_ns));
+        let rounds = self.rounds.lock().unwrap().clone();
+        let summary = trace::summarize(self.now_ns(), &spans, &rounds, self.metrics.snapshot());
+        Trace {
+            meta: TraceMeta {
+                schema_version: SCHEMA_VERSION,
+                producer: format!("gfl-obs {}", env!("CARGO_PKG_VERSION")),
+                threads: threads as u64,
+            },
+            spans,
+            rounds,
+            summary: Some(summary),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_records_spans_and_rounds() {
+        let c = TraceCollector::new();
+        let t0 = c.now_ns();
+        c.record_span(SpanKind::Round, t0, SpanAttrs::round(3));
+        c.record_span_at(
+            SpanKind::ClientStep,
+            10,
+            25,
+            SpanAttrs::client_step(3, 1, 0, 7),
+        );
+        c.metrics().counter("events.faults").add(2);
+        c.record_round(RoundMetrics::empty(3));
+        let trace = c.finish(4);
+        assert_eq!(trace.meta.schema_version, SCHEMA_VERSION);
+        assert_eq!(trace.meta.threads, 4);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.rounds.len(), 1);
+        let summary = trace.summary.as_ref().unwrap();
+        assert_eq!(summary.rounds, 1);
+        let faults = summary
+            .metrics
+            .counters
+            .iter()
+            .find(|c| c.name == "events.faults")
+            .unwrap();
+        assert_eq!(faults.value, 2);
+        // Spans sorted by start.
+        assert!(trace.spans[0].start_ns <= trace.spans[1].start_ns);
+    }
+}

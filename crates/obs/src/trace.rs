@@ -1,0 +1,460 @@
+//! Versioned JSONL trace format: writer, reader, and summary computation.
+//!
+//! A trace file is newline-delimited JSON. Every line is an object with a
+//! `type` field; the first line is always the `meta` record:
+//!
+//! ```text
+//! {"type":"meta","schema_version":1,"producer":"gfl-obs 0.1.0","threads":8}
+//! {"type":"span","kind":"Round","start_ns":...,"dur_ns":...,...}
+//! {"type":"round","round":0,"train_ns":...,"aggregate_ns":...,...}
+//! {"type":"summary","wall_ns":...,"rounds":...,"span_totals":[...],...}
+//! ```
+//!
+//! Readers must ignore unknown record types and unknown fields (forward
+//! compatibility); writers bump [`SCHEMA_VERSION`] on breaking changes.
+//! [`TraceReader`] rejects traces whose major version it does not know.
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{SpanKind, SpanRecord};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Version of the JSONL schema emitted by this crate.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// First line of every trace file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    pub schema_version: u32,
+    /// Producing crate and version, e.g. `"gfl-obs 0.1.0"`.
+    pub producer: String,
+    /// Parallelism degree the run used (0 = unknown).
+    pub threads: u64,
+}
+
+/// One round's phase breakdown and event tallies.
+///
+/// Phase durations are disjoint: `comm_ns` (upload-retry handling) is
+/// excluded from `aggregate_ns`, so
+/// `train_ns + aggregate_ns + comm_ns + eval_ns <= wall_ns`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Global round index `t`.
+    pub round: u64,
+    /// Whole-round wall time.
+    pub wall_ns: u64,
+    /// Sampling + outage filtering + local training (all group rounds).
+    pub train_ns: u64,
+    /// Cost charging + graceful degradation + Line-15 merge (minus comm).
+    pub aggregate_ns: u64,
+    /// Upload-retry (simulated communication recovery) time.
+    pub comm_ns: u64,
+    /// Holdout evaluation time (0 when off-cadence).
+    pub eval_ns: u64,
+    /// Groups that produced an update this round.
+    pub groups_trained: u64,
+    /// Client training units executed (clients × group rounds).
+    pub clients_trained: u64,
+    /// Fault events recorded this round.
+    pub fault_events: u64,
+    /// Cumulative simulated cost after this round (ledger total).
+    pub cost_total: f64,
+    /// Fork-join regions entered during this round.
+    pub pool_regions: u64,
+    /// Work items claimed via the pool's atomic cursor this round.
+    pub pool_claims: u64,
+    /// Claims made by helper workers (not the region caller): "steals".
+    pub pool_steals: u64,
+    /// Pool busy-time / capacity over this round's regions (0..=1; 0 when no
+    /// parallel region ran).
+    pub pool_utilization: f64,
+    /// Heap allocations during this round (0 unless a counting allocator is
+    /// registered via [`crate::alloc::register_alloc_counter`]).
+    pub allocs: u64,
+}
+
+impl RoundMetrics {
+    /// An all-zero record for round `t` (placeholder for held rounds).
+    pub fn empty(t: usize) -> Self {
+        RoundMetrics {
+            round: t as u64,
+            wall_ns: 0,
+            train_ns: 0,
+            aggregate_ns: 0,
+            comm_ns: 0,
+            eval_ns: 0,
+            groups_trained: 0,
+            clients_trained: 0,
+            fault_events: 0,
+            cost_total: 0.0,
+            pool_regions: 0,
+            pool_claims: 0,
+            pool_steals: 0,
+            pool_utilization: 0.0,
+            allocs: 0,
+        }
+    }
+
+    /// Fraction of this round's wall time covered by the four phase spans.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 1.0;
+        }
+        let covered = self.train_ns + self.aggregate_ns + self.comm_ns + self.eval_ns;
+        covered as f64 / self.wall_ns as f64
+    }
+}
+
+/// Total duration and count for one span kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanTotal {
+    pub kind: SpanKind,
+    pub count: u64,
+    pub total_ns: u64,
+}
+
+/// End-of-run rollup: last line of a complete trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Collector lifetime (ns) when the trace was finalized.
+    pub wall_ns: u64,
+    /// Rounds with a `round` record.
+    pub rounds: u64,
+    /// Aggregate phase coverage across all rounds (see
+    /// [`RoundMetrics::coverage`]); 1.0 when no rounds were recorded.
+    pub coverage: f64,
+    /// Per-kind span totals, in [`SpanKind::ALL`] order (kinds with no
+    /// recorded span are omitted).
+    pub span_totals: Vec<SpanTotal>,
+    /// Snapshot of the metrics registry.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Computes the [`RunSummary`] for a finished run.
+pub(crate) fn summarize(
+    wall_ns: u64,
+    spans: &[SpanRecord],
+    rounds: &[RoundMetrics],
+    metrics: MetricsSnapshot,
+) -> RunSummary {
+    let mut span_totals = Vec::new();
+    for kind in SpanKind::ALL {
+        let (mut count, mut total_ns) = (0u64, 0u64);
+        for s in spans.iter().filter(|s| s.kind == kind) {
+            count += 1;
+            total_ns += s.dur_ns;
+        }
+        if count > 0 {
+            span_totals.push(SpanTotal {
+                kind,
+                count,
+                total_ns,
+            });
+        }
+    }
+    let (covered, wall): (u64, u64) = rounds.iter().fold((0, 0), |(c, w), r| {
+        (
+            c + r.train_ns + r.aggregate_ns + r.comm_ns + r.eval_ns,
+            w + r.wall_ns,
+        )
+    });
+    let coverage = if wall == 0 {
+        1.0
+    } else {
+        covered as f64 / wall as f64
+    };
+    RunSummary {
+        wall_ns,
+        rounds: rounds.len() as u64,
+        coverage,
+        span_totals,
+        metrics,
+    }
+}
+
+/// A complete trace: what [`crate::TraceCollector::finish`] produces and
+/// what [`TraceReader`] parses back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    pub meta: TraceMeta,
+    pub spans: Vec<SpanRecord>,
+    pub rounds: Vec<RoundMetrics>,
+    pub summary: Option<RunSummary>,
+}
+
+impl Trace {
+    /// Serializes the trace as JSONL into `w` (buffered internally).
+    pub fn write_jsonl<W: Write>(&self, w: W) -> std::io::Result<()> {
+        let mut w = BufWriter::new(w);
+        writeln!(w, "{}", tagged_line("meta", &self.meta))?;
+        for span in &self.spans {
+            writeln!(w, "{}", tagged_line("span", span))?;
+        }
+        for round in &self.rounds {
+            writeln!(w, "{}", tagged_line("round", round))?;
+        }
+        if let Some(summary) = &self.summary {
+            writeln!(w, "{}", tagged_line("summary", summary))?;
+        }
+        w.flush()
+    }
+
+    /// Writes the trace to `path` as JSONL.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.write_jsonl(file)
+    }
+
+    /// Renders the trace as a single JSONL string.
+    pub fn to_jsonl(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_jsonl(&mut buf).expect("in-memory write");
+        String::from_utf8(buf).expect("JSON is UTF-8")
+    }
+
+    /// Total recorded duration for one span kind (ns).
+    pub fn span_total_ns(&self, kind: SpanKind) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Number of recorded spans of `kind`.
+    pub fn span_count(&self, kind: SpanKind) -> usize {
+        self.spans.iter().filter(|s| s.kind == kind).count()
+    }
+
+    /// Aggregate phase coverage across all recorded rounds: the fraction of
+    /// round wall time accounted for by train/aggregate/comm/eval.
+    pub fn round_coverage(&self) -> f64 {
+        let (covered, wall): (u64, u64) = self.rounds.iter().fold((0, 0), |(c, w), r| {
+            (
+                c + r.train_ns + r.aggregate_ns + r.comm_ns + r.eval_ns,
+                w + r.wall_ns,
+            )
+        });
+        if wall == 0 {
+            1.0
+        } else {
+            covered as f64 / wall as f64
+        }
+    }
+}
+
+/// Serializes `record` and injects `"type": tag` as the first field.
+fn tagged_line<T: Serialize>(tag: &str, record: &T) -> String {
+    let value = serde_json::to_value(record).expect("trace records are serializable");
+    let mut fields = vec![("type".to_string(), Value::String(tag.to_string()))];
+    match value {
+        Value::Object(obj) => fields.extend(obj),
+        other => fields.push(("data".to_string(), other)),
+    }
+    serde_json::to_string(&Value::Object(fields)).expect("JSON rendering")
+}
+
+/// Errors surfaced when parsing a trace file.
+#[derive(Debug)]
+pub enum TraceError {
+    Io(std::io::Error),
+    /// A line failed to parse as JSON, or a known record type had the wrong
+    /// shape. Carries the 1-based line number and a description.
+    Malformed {
+        line: usize,
+        message: String,
+    },
+    /// The first line is not a `meta` record.
+    MissingMeta,
+    /// The trace was written by an incompatible schema version.
+    UnsupportedVersion(u32),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Malformed { line, message } => {
+                write!(f, "malformed trace line {line}: {message}")
+            }
+            TraceError::MissingMeta => write!(f, "trace does not start with a meta record"),
+            TraceError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported trace schema version {v} (reader supports {SCHEMA_VERSION})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Parses JSONL traces back into a [`Trace`]; used by tests to assert on
+/// runs structurally.
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Reads and validates the trace at `path`.
+    pub fn read(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::parse(&text)
+    }
+
+    /// Parses a JSONL trace from a string.
+    pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (first_no, first) = lines.next().ok_or(TraceError::MissingMeta)?;
+        let meta: TraceMeta = parse_record(first_no + 1, first, "meta")?;
+        if meta.schema_version != SCHEMA_VERSION {
+            return Err(TraceError::UnsupportedVersion(meta.schema_version));
+        }
+        let mut trace = Trace {
+            meta,
+            spans: Vec::new(),
+            rounds: Vec::new(),
+            summary: None,
+        };
+        for (no, line) in lines {
+            let no = no + 1;
+            let value: Value = serde_json::from_str(line).map_err(|e| TraceError::Malformed {
+                line: no,
+                message: e.to_string(),
+            })?;
+            let kind =
+                value
+                    .get("type")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| TraceError::Malformed {
+                        line: no,
+                        message: "record has no `type` field".into(),
+                    })?;
+            match kind {
+                "span" => trace.spans.push(from_line(no, &value)?),
+                "round" => trace.rounds.push(from_line(no, &value)?),
+                "summary" => trace.summary = Some(from_line(no, &value)?),
+                // Unknown record types are skipped for forward compatibility.
+                _ => {}
+            }
+        }
+        Ok(trace)
+    }
+}
+
+/// Parses one line expecting a specific record type tag.
+fn parse_record<T: DeserializeOwned>(no: usize, line: &str, expect: &str) -> Result<T, TraceError> {
+    let value: Value = serde_json::from_str(line).map_err(|e| TraceError::Malformed {
+        line: no,
+        message: e.to_string(),
+    })?;
+    match value.get("type").and_then(Value::as_str) {
+        Some(t) if t == expect => from_line(no, &value),
+        Some(_) | None if expect == "meta" => Err(TraceError::MissingMeta),
+        other => Err(TraceError::Malformed {
+            line: no,
+            message: format!("expected `{expect}` record, got {other:?}"),
+        }),
+    }
+}
+
+/// Deserializes a record from an already-parsed line value (the extra
+/// `type` field is ignored by the derived deserializers).
+fn from_line<T: DeserializeOwned>(no: usize, value: &Value) -> Result<T, TraceError> {
+    let json = serde_json::to_string(value).expect("re-render parsed value");
+    serde_json::from_str(&json).map_err(|e| TraceError::Malformed {
+        line: no,
+        message: e.to_string(),
+    })
+}
+
+/// Local stand-in for upstream serde's `DeserializeOwned` bound.
+trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanAttrs;
+    use crate::TraceCollector;
+
+    fn sample_trace() -> Trace {
+        let c = TraceCollector::new();
+        let t0 = c.now_ns();
+        c.record_span_at(SpanKind::Train, t0, t0 + 80, SpanAttrs::round(0));
+        c.record_span_at(SpanKind::Round, t0, t0 + 100, SpanAttrs::round(0));
+        c.metrics().counter("events.faults").add(3);
+        c.metrics().gauge("pool.utilization").set(0.75);
+        let mut rm = RoundMetrics::empty(0);
+        rm.wall_ns = 100;
+        rm.train_ns = 80;
+        rm.aggregate_ns = 15;
+        rm.eval_ns = 5;
+        c.record_round(rm);
+        c.finish(2)
+    }
+
+    #[test]
+    fn trace_round_trips_through_jsonl() {
+        let trace = sample_trace();
+        let text = trace.to_jsonl();
+        let back = TraceReader::parse(&text).expect("parse");
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn first_line_is_versioned_meta() {
+        let trace = sample_trace();
+        let text = trace.to_jsonl();
+        let first = text.lines().next().unwrap();
+        let v: Value = serde_json::from_str(first).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("meta"));
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_u64),
+            Some(SCHEMA_VERSION as u64)
+        );
+    }
+
+    #[test]
+    fn reader_rejects_missing_meta_and_bad_version() {
+        assert!(matches!(
+            TraceReader::parse("{\"type\":\"span\"}"),
+            Err(TraceError::MissingMeta)
+        ));
+        let wrong = "{\"type\":\"meta\",\"schema_version\":99,\"producer\":\"x\",\"threads\":1}";
+        assert!(matches!(
+            TraceReader::parse(wrong),
+            Err(TraceError::UnsupportedVersion(99))
+        ));
+    }
+
+    #[test]
+    fn reader_skips_unknown_record_types() {
+        let trace = sample_trace();
+        let mut text = trace.to_jsonl();
+        text.push_str("{\"type\":\"future-record\",\"x\":1}\n");
+        let back = TraceReader::parse(&text).expect("unknown types are skipped");
+        assert_eq!(back.rounds.len(), 1);
+    }
+
+    #[test]
+    fn coverage_accounts_phases_against_wall() {
+        let trace = sample_trace();
+        let cov = trace.round_coverage();
+        assert!(
+            (cov - 1.0).abs() < 1e-9,
+            "80+15+5 of 100 ns = 1.0, got {cov}"
+        );
+        assert_eq!(trace.span_total_ns(SpanKind::Train), 80);
+    }
+}

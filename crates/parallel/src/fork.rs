@@ -156,9 +156,11 @@ fn worker_loop(rx: Receiver<Job>) {
         // SAFETY: `region` waits on the latch before returning, so the
         // pointee outlives this call; we count down only after it finishes.
         let body = unsafe { &*job.task.0 };
+        let started = std::time::Instant::now();
         if catch_unwind(AssertUnwindSafe(|| body(job.participant))).is_err() {
             job.latch.panicked.store(true, Ordering::SeqCst);
         }
+        crate::stats::record_busy(started.elapsed().as_nanos() as u64);
         job.latch.count_down();
     }
 }
@@ -187,6 +189,7 @@ where
     let helpers = width - 1;
     pool.ensure_workers(helpers);
     let latch = Arc::new(Latch::new(helpers));
+    let region_started = std::time::Instant::now();
 
     let wide: &(dyn Fn(usize) + Sync) = &body;
     // SAFETY: erases the borrow's lifetime. Sound because every path out of
@@ -207,10 +210,14 @@ where
 
     let caller = {
         let _guard = RegionGuard::enter();
-        catch_unwind(AssertUnwindSafe(|| body(0)))
+        let started = std::time::Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| body(0)));
+        crate::stats::record_busy(started.elapsed().as_nanos() as u64);
+        result
     };
     // Must not unwind past here before the workers are done with `body`.
     latch.wait();
+    crate::stats::record_region(region_started.elapsed().as_nanos() as u64, width);
     if let Err(payload) = caller {
         resume_unwind(payload);
     }

@@ -25,6 +25,7 @@
 pub mod fork;
 mod pool;
 mod scope;
+pub mod stats;
 
 pub use fork::{in_region, region};
 pub use pool::ThreadPool;

@@ -85,20 +85,23 @@ where
     let mut out: Vec<U> = Vec::with_capacity(len);
     let out_ptr = SendPtr(out.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
-    region(threads, |_| {
+    region(threads, |participant| {
         let out_ptr = &out_ptr;
+        let mut claimed = 0u64;
         loop {
             let start = cursor.fetch_add(run, Ordering::Relaxed);
             if start >= len {
                 break;
             }
             let end = (start + run).min(len);
+            claimed += (end - start) as u64;
             for (i, item) in items.iter().enumerate().take(end).skip(start) {
                 // SAFETY: slot `i` belongs to this claim alone, and the
                 // buffer has capacity `len`.
                 unsafe { out_ptr.0.add(i).write(f(item)) };
             }
         }
+        crate::stats::record_claims(claimed, participant != 0);
     });
     // SAFETY: the cursor handed out every index in 0..len exactly once and
     // `region` returned normally, so all slots are initialized. (If a worker
@@ -135,17 +138,20 @@ where
     let mut out: Vec<U> = Vec::with_capacity(len);
     let out_ptr = SendPtr(out.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
-    region(threads, |_| {
+    region(threads, |participant| {
         let out_ptr = &out_ptr;
         let mut state = init();
+        let mut claimed = 0u64;
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= len {
                 break;
             }
+            claimed += 1;
             // SAFETY: slot `i` was claimed exactly once (see par_map_with).
             unsafe { out_ptr.0.add(i).write(f(&mut state, &items[i])) };
         }
+        crate::stats::record_claims(claimed, participant != 0);
     });
     // SAFETY: every slot initialized; see par_map_with.
     unsafe { out.set_len(len) };
@@ -191,19 +197,22 @@ where
     }
     let base = SendPtr(items.as_mut_ptr());
     let cursor = AtomicUsize::new(0);
-    region(threads, |_| {
+    region(threads, |participant| {
         let base = &base;
         let mut state = init();
+        let mut claimed = 0u64;
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= len {
                 break;
             }
+            claimed += 1;
             // SAFETY: index `i` is claimed exactly once, so this is the only
             // live `&mut` to the element.
             let item = unsafe { &mut *base.0.add(i) };
             f(&mut state, i, item);
         }
+        crate::stats::record_claims(claimed, participant != 0);
     });
 }
 
@@ -242,16 +251,19 @@ where
         // this is the only live `&mut` to slot `participant`.
         let acc = unsafe { &mut *partials_ptr.0.add(participant) };
         let mut acc = acc.take().expect("accumulator seeded above");
+        let mut claimed = 0u64;
         loop {
             let start = cursor.fetch_add(run, Ordering::Relaxed);
             if start >= len {
                 break;
             }
             let end = (start + run).min(len);
+            claimed += (end - start) as u64;
             for item in &items[start..end] {
                 acc = reduce(acc, map(item));
             }
         }
+        crate::stats::record_claims(claimed, participant != 0);
         // SAFETY: same unique slot as above.
         unsafe { partials_ptr.0.add(participant).write(Some(acc)) };
     });

@@ -7,6 +7,10 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `GFL_TRACE_OUT=run.jsonl` to also record a JSONL run trace
+//! through `gfl-obs` (see docs/OBSERVABILITY.md); the example validates
+//! the written trace by reading it back. Tracing never changes results.
 
 use gfl_core::prelude::*;
 use gfl_core::sampling::AggregationWeighting;
@@ -64,7 +68,13 @@ fn main() {
         secure_aggregation: false,
         dropout_prob: 0.0,
     };
-    let trainer = Trainer::new(config, gfl_nn::zoo::vision_model(), train, partition, test);
+    let rounds = config.global_rounds;
+    let mut trainer = Trainer::new(config, gfl_nn::zoo::vision_model(), train, partition, test);
+    let trace_out = std::env::var("GFL_TRACE_OUT").ok();
+    let observer = trace_out.as_ref().map(|_| gfl_obs::TraceCollector::new());
+    if let Some(obs) = &observer {
+        trainer = trainer.with_observer(std::sync::Arc::clone(obs));
+    }
     let history = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
 
     // 4. Report.
@@ -77,4 +87,20 @@ fn main() {
         history.best_accuracy() > 0.3,
         "quickstart should learn something"
     );
+
+    // 5. Optional: write the run trace and validate it against the schema
+    //    by round-tripping it through the reader.
+    if let (Some(path), Some(obs)) = (trace_out, observer) {
+        let trace = obs.finish(gfl_parallel::default_parallelism());
+        trace.save(&path).expect("write trace");
+        let back = gfl_obs::TraceReader::read(&path).expect("trace must parse against the schema");
+        assert_eq!(back.rounds.len(), rounds, "one round record per round");
+        assert_eq!(back.meta.schema_version, gfl_obs::SCHEMA_VERSION);
+        println!(
+            "wrote {path}: {} spans, {} rounds, {:.1}% phase coverage",
+            back.spans.len(),
+            back.rounds.len(),
+            back.round_coverage() * 100.0
+        );
+    }
 }
