@@ -16,7 +16,7 @@ use gfl_core::sampling::{AggregationWeighting, SamplingStrategy};
 use gfl_core::theory::{self, TheoremInputs};
 use gfl_core::Group;
 use gfl_data::{ClientPartition, Dataset, PartitionSpec, SyntheticSpec};
-use gfl_faults::{ChurnPlan, FaultPlan, FaultPolicy, OutageWindow};
+use gfl_faults::{AdversaryPlan, ChurnPlan, FaultPlan, FaultPolicy, OutageWindow};
 use gfl_nn::sgd::LrSchedule;
 use gfl_nn::Params;
 use gfl_sim::{CostModel, GroupOpKind, Task, Topology};
@@ -110,8 +110,18 @@ CHURN & SELF-HEALING (deterministic; see docs/FAULTS.md):
   --regroup-cooldown N     rounds between group repairs [5]
   --reform-every N   periodic full re-formation cadence [off]
 
+ADVERSARIES (deterministic campaigns; see docs/FAULTS.md):
+  --adversary none|moderate|backdoor   preset plan      [none]
+  --adversary-seed N attack decision seed               [--seed]
+  --backdoor-frac F --flip-frac F --poison-frac F       compromised fractions
+  --poison-rate F    per-row poison probability         plan override
+  --trigger-width N --trigger-target L                  backdoor trigger
+  --backdoor-boost F model-replacement amplification    [1.0]
+  --flip-from L --flip-to L                             label-flip campaign
+  --attack-scale F   model-poison amplification         plan override
+
 ROBUST AGGREGATION (group-level, Line 14):
-  --robust-agg mean|median|trimmed-mean|krum|multi-krum [mean]
+  --robust-agg mean|median|trimmed-mean|krum|multi-krum|flame [mean]
   --robust-f N       assumed Byzantine count / trim     [1]
   --robust-select N  multi-krum selection size          [2]
 
@@ -194,6 +204,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let show_metrics = args.get_flag("metrics")?;
     let faults = parse_faults(&args, seed)?;
     let churn = parse_churn(&args, seed, config.global_rounds)?;
+    let adversary = parse_adversary(&args, seed, train.num_classes(), train.feature_dim())?;
     let robust = parse_robust_agg(&args)?;
     args.reject_unknown()?;
     if robust != RobustAggRule::Mean && config.secure_aggregation {
@@ -222,6 +233,10 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let churn_on = churn.is_some();
     if let Some((plan, policy)) = churn {
         trainer = trainer.with_churn(plan, policy);
+    }
+    let adversary_on = adversary.is_some();
+    if let Some(plan) = adversary {
+        trainer = trainer.with_adversary(plan);
     }
     trainer = trainer.with_robust_agg(robust);
 
@@ -292,6 +307,32 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     writeln!(out, "\nbest accuracy: {:.4}", history.best_accuracy())?;
     if faults_on {
         writeln!(out, "faults: {}", history.fault_summary())?;
+    }
+    if adversary_on {
+        let summary = history.attack_summary();
+        writeln!(out, "attacks: {summary}")?;
+        writeln!(
+            out,
+            "defense efficacy: {} injected / {} filtered ({} flame, {} non-finite)",
+            summary.injected(),
+            summary.filtered(),
+            summary.filtered_flame,
+            summary.filtered_non_finite
+        )?;
+        let asr = history.asr_records();
+        if !asr.is_empty() {
+            let cell = |v: Option<f32>| v.map_or("      -".into(), |x| format!("{x:7.4}"));
+            writeln!(out, "\n round  trigger-asr  flip-asr")?;
+            for r in asr {
+                writeln!(
+                    out,
+                    "{:6}  {:>10}  {:>8}",
+                    r.round,
+                    cell(r.trigger_asr),
+                    cell(r.flip_asr)
+                )?;
+            }
+        }
     }
     if churn_on {
         writeln!(out, "regroups: {}", history.regroup_summary())?;
@@ -792,6 +833,118 @@ fn parse_churn(
     Ok(any.then_some((plan, policy)))
 }
 
+/// Builds the adversary plan from `--adversary` and its override flags,
+/// checking labels and trigger width against the dataset's shape so bad
+/// campaigns fail as typed errors, not engine panics. Returns `None` when
+/// no adversary option was given (clean run, bit-identical to no plan).
+fn parse_adversary(
+    args: &Args,
+    seed: u64,
+    num_classes: usize,
+    feature_dim: usize,
+) -> Result<Option<AdversaryPlan>, CommandError> {
+    let preset = args.get_str("adversary", "none");
+    let adversary_seed: u64 = args.get("adversary-seed", seed, "int")?;
+    let mut plan = match preset.as_str() {
+        "none" => AdversaryPlan::none(),
+        "moderate" => AdversaryPlan::moderate(adversary_seed),
+        "backdoor" => AdversaryPlan::backdoor(adversary_seed, 0.2),
+        other => {
+            return Err(CommandError::Invalid(format!(
+                "unknown --adversary '{other}' (none|moderate|backdoor)"
+            )))
+        }
+    };
+    plan.seed = adversary_seed;
+    let mut any = preset != "none";
+    {
+        let overrides: [(&str, &mut f64); 6] = [
+            ("backdoor-frac", &mut plan.backdoor_fraction),
+            ("flip-frac", &mut plan.label_flip_fraction),
+            ("poison-frac", &mut plan.model_poison_fraction),
+            ("poison-rate", &mut plan.poison_rate),
+            ("attack-scale", &mut plan.scale_factor),
+            ("backdoor-boost", &mut plan.backdoor_boost),
+        ];
+        for (key, field) in overrides {
+            if let Some(v) = args.get_opt(key) {
+                *field = v
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(key.into(), v, "float"))?;
+                any = true;
+            }
+        }
+    }
+    {
+        let overrides: [(&str, &mut usize); 4] = [
+            ("trigger-width", &mut plan.trigger_width),
+            ("trigger-target", &mut plan.trigger_target),
+            ("flip-from", &mut plan.flip_from),
+            ("flip-to", &mut plan.flip_to),
+        ];
+        for (key, field) in overrides {
+            if let Some(v) = args.get_opt(key) {
+                *field = v
+                    .parse()
+                    .map_err(|_| ParseError::BadValue(key.into(), v, "int"))?;
+                any = true;
+            }
+        }
+    }
+    for (key, p) in [
+        ("backdoor-frac", plan.backdoor_fraction),
+        ("flip-frac", plan.label_flip_fraction),
+        ("poison-frac", plan.model_poison_fraction),
+        ("poison-rate", plan.poison_rate),
+    ] {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(CommandError::Invalid(format!(
+                "--{key} must be a probability, got {p}"
+            )));
+        }
+    }
+    if plan.backdoor_fraction + plan.label_flip_fraction + plan.model_poison_fraction > 1.0 {
+        return Err(CommandError::Invalid(
+            "adversary fractions must sum to at most 1".into(),
+        ));
+    }
+    if plan.backdoor_fraction > 0.0 {
+        if plan.trigger_width == 0 || plan.trigger_width > feature_dim {
+            return Err(CommandError::Invalid(format!(
+                "--trigger-width must be in 1..={feature_dim} for this dataset"
+            )));
+        }
+        if plan.trigger_target >= num_classes {
+            return Err(CommandError::Invalid(format!(
+                "--trigger-target must be < {num_classes} classes"
+            )));
+        }
+        if !plan.backdoor_boost.is_finite() || plan.backdoor_boost <= 0.0 {
+            return Err(CommandError::Invalid(
+                "--backdoor-boost must be a positive finite factor".into(),
+            ));
+        }
+    }
+    if plan.label_flip_fraction > 0.0 {
+        if plan.flip_from >= num_classes || plan.flip_to >= num_classes {
+            return Err(CommandError::Invalid(format!(
+                "--flip-from/--flip-to must be < {num_classes} classes"
+            )));
+        }
+        if plan.flip_from == plan.flip_to {
+            return Err(CommandError::Invalid(
+                "--flip-from and --flip-to must differ: a flip must change the label".into(),
+            ));
+        }
+    }
+    if plan.model_poison_fraction > 0.0 && plan.scale_factor == 1.0 && !plan.sign_flip {
+        return Err(CommandError::Invalid(
+            "--attack-scale 1.0 with no sign flip is a no-op model poison".into(),
+        ));
+    }
+    Ok(any.then_some(plan))
+}
+
 /// Parses `--robust-agg` into a group-level aggregation rule.
 fn parse_robust_agg(args: &Args) -> Result<RobustAggRule, CommandError> {
     let f: usize = args.get("robust-f", 1, "int")?;
@@ -805,8 +958,9 @@ fn parse_robust_agg(args: &Args) -> Result<RobustAggRule, CommandError> {
             byzantine: f,
             select,
         }),
+        "flame" => Ok(RobustAggRule::FlameFilter),
         other => Err(CommandError::Invalid(format!(
-            "unknown --robust-agg '{other}' (mean|median|trimmed-mean|krum|multi-krum)"
+            "unknown --robust-agg '{other}' (mean|median|trimmed-mean|krum|multi-krum|flame)"
         ))),
     }
 }
@@ -1006,6 +1160,54 @@ mod tests {
             "--churn moderate --churn-horizon 0",
             "--churn moderate --reform-every 0",
             "--robust-agg sha256",
+        ] {
+            let (r, _) = run_cmd(
+                simulate,
+                &format!("--clients 8 --edges 2 --samples 900 --min-gs 2 {flags}"),
+            );
+            assert!(r.is_err(), "{flags} should be rejected");
+        }
+    }
+
+    #[test]
+    fn simulate_adversary_session_prints_attack_summary_and_asr() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 3 --k 2 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --adversary moderate --adversary-seed 7 --backdoor-frac 0.3 \
+             --flip-frac 0.2 --poison-frac 0.2",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("attacks:"), "{out}");
+        assert!(out.contains("defense efficacy:"), "{out}");
+        assert!(out.contains("trigger-asr"), "{out}");
+    }
+
+    #[test]
+    fn simulate_adversary_with_flame_defense_runs() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 12 --edges 2 --samples 1400 --rounds 3 --k 2 --e 1 \
+             --sample 2 --min-gs 4 --max-cov 10.0 --alpha 0.5 --seed 3 \
+             --eval-every 1 --adversary backdoor --backdoor-frac 0.3 \
+             --poison-frac 0.2 --attack-scale 5.0 --robust-agg flame",
+        );
+        r.unwrap();
+        assert!(out.contains("defense efficacy:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_adversary_flags() {
+        for flags in [
+            "--adversary ninja",
+            "--adversary moderate --backdoor-frac 1.5",
+            "--adversary moderate --backdoor-frac 0.6 --flip-frac 0.6",
+            "--adversary moderate --flip-from 2 --flip-to 2",
+            "--adversary backdoor --trigger-target 99",
+            "--adversary backdoor --trigger-width 0",
+            "--robust-agg flame --secure",
         ] {
             let (r, _) = run_cmd(
                 simulate,

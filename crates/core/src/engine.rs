@@ -17,8 +17,13 @@
 //! with the strategy's own group-operation mix and per-sample training
 //! factor (§7.1: "different quadratic cost functions for each method").
 
+use gfl_data::poison::Trigger;
 use gfl_data::{ClientPartition, Dataset, LabelMatrix};
-use gfl_faults::{ChurnPlan, FaultEvent, FaultInjector, FaultPlan, FaultPolicy};
+use gfl_defense::DefenseCost;
+use gfl_faults::{
+    summarize_attacks, AdversaryPlan, AttackEvent, AttackKind, ChurnPlan, DefenseStage, FaultEvent,
+    FaultInjector, FaultPlan, FaultPolicy,
+};
 use gfl_nn::sgd::LrSchedule;
 use gfl_nn::{Network, Params};
 use gfl_obs::{RoundMetrics, SpanAttrs, SpanKind, TraceCollector};
@@ -27,11 +32,12 @@ use gfl_tensor::init;
 use gfl_tensor::{ops, Scalar};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::cov::group_cov;
 use crate::grouping::{GroupingAlgorithm, PartitionError};
-use crate::history::{RoundRecord, RunHistory};
+use crate::history::{AsrRecord, RoundRecord, RunHistory};
 use crate::local::{LocalScratch, LocalTask, LocalUpdate, ScratchPool};
 use crate::membership::{MembershipState, RegroupPolicy};
 use crate::sampling::{
@@ -147,6 +153,7 @@ pub struct Trainer {
     test: Dataset,
     faults: Option<FaultState>,
     churn: Option<ChurnState>,
+    adversary: Option<AdversaryState>,
     robust_agg: RobustAggRule,
     scratch: ScratchPool,
     obs: Option<Arc<TraceCollector>>,
@@ -214,6 +221,11 @@ pub enum RobustAggRule {
     Krum { byzantine: usize },
     /// Mean of the `select` best updates by Krum score.
     MultiKrum { byzantine: usize, select: usize },
+    /// FLAME-style cosine-clustering filter (`gfl_defense::filter_updates`)
+    /// over the survivors' *deltas*, then a sample-weighted mean of the
+    /// accepted (clipped) deltas. The only rule that reports which clients
+    /// it rejected, feeding the attack log's `AttackFiltered` events.
+    FlameFilter,
 }
 
 /// Applies a (non-Mean) robust rule to the survivors, clamping its
@@ -222,6 +234,9 @@ fn robust_aggregate(rule: RobustAggRule, updates: &[Vec<Scalar>]) -> Vec<Scalar>
     let n = updates.len();
     match rule {
         RobustAggRule::Mean => unreachable!("Mean is handled by the weighted path"),
+        RobustAggRule::FlameFilter => {
+            unreachable!("FlameFilter is handled by the filtering path")
+        }
         RobustAggRule::CoordinateMedian => gfl_defense::robust::coordinate_median(updates),
         RobustAggRule::TrimmedMean { trim } => {
             gfl_defense::robust::trimmed_mean(updates, trim.min((n - 1) / 2))
@@ -244,6 +259,36 @@ struct ChurnState {
     policy: RegroupPolicy,
 }
 
+/// A compromised client's pre-poisoned local shard. Materialized once at
+/// [`Trainer::with_adversary`] time — the poisoned subset is a pure
+/// function of the plan, so poisoning at build time (rather than per
+/// round) changes nothing about the campaign and keeps `run_unit` cheap.
+struct PoisonedShard {
+    /// The client's local data with the campaign applied in place.
+    data: Dataset,
+    /// Row indices into `data` (always `0..data.len()`), standing in for
+    /// the honest client's `partition.indices`.
+    indices: Vec<usize>,
+    /// How many rows the campaign actually touched.
+    rows: usize,
+    kind: AttackKind,
+}
+
+/// Adversary context of an attacked run: the campaign plan, every data
+/// poisoner's pre-built shard, and the held-out attack-success evaluation
+/// sets. All of it derives from the plan seed alone — no engine RNG stream
+/// is consumed, so a clean plan leaves runs bit-identical.
+struct AdversaryState {
+    plan: AdversaryPlan,
+    shards: HashMap<usize, PoisonedShard>,
+    /// Triggered non-target test samples, relabelled to the trigger
+    /// target: accuracy on this set *is* the backdoor attack success rate.
+    trigger_eval: Option<Dataset>,
+    /// Test samples of the flip source class, relabelled to the flip
+    /// target: accuracy on this set is the label-flip success rate.
+    flip_eval: Option<Dataset>,
+}
+
 /// Result of one group's work within a global round.
 struct GroupOutcome {
     /// Global group index (for fault attribution).
@@ -259,6 +304,10 @@ struct GroupOutcome {
     upload_samples: usize,
     /// Faults that hit this group, in deterministic (k, member) order.
     events: Vec<FaultEvent>,
+    /// Attacks injected (and filtered) in this group, same ordering.
+    attacks: Vec<AttackEvent>,
+    /// Measured defense-filter work across the group's `K` group rounds.
+    defense: DefenseCost,
 }
 
 /// One client's fixed result slot within a group round. Workers write
@@ -273,6 +322,8 @@ struct Slot {
     live: bool,
     /// At most one fault can hit a client per group round.
     event: Option<FaultEvent>,
+    /// At most one attack (injection or interception) per group round.
+    attack: Option<AttackEvent>,
     /// Local training loss, if the client trained on any data (recorded
     /// even when the update is later rejected as corrupt, matching the
     /// sequential engine).
@@ -291,6 +342,8 @@ struct GroupCtx<'g> {
     uploads: usize,
     upload_samples: usize,
     events: Vec<FaultEvent>,
+    attacks: Vec<AttackEvent>,
+    defense: DefenseCost,
     n_g: usize,
 }
 
@@ -364,6 +417,7 @@ impl Trainer {
             test,
             faults: None,
             churn: None,
+            adversary: None,
             robust_agg: RobustAggRule::Mean,
             scratch: ScratchPool::new(),
             obs: None,
@@ -419,6 +473,117 @@ impl Trainer {
         plan.validate();
         self.churn = Some(ChurnState { plan, policy });
         self
+    }
+
+    /// Enables a deterministic poisoning campaign for every subsequent
+    /// run. Compromised clients and their poisoned rows are pure hashes of
+    /// the plan seed, so shards and attack-success evaluation sets are
+    /// materialized once, here; training then swaps them in at the client
+    /// update boundary. No engine RNG stream is consumed — a run with
+    /// [`AdversaryPlan::none`] is bit-identical to one without this call,
+    /// and attacked runs replay bit-identically at any thread count.
+    ///
+    /// Composes with faults, churn, robust aggregation, and
+    /// `secure_aggregation` (data/model poison happens *before* masking,
+    /// so attacks survive SecAgg — exactly the threat model that motivates
+    /// running a defense inside the group).
+    ///
+    /// # Panics
+    /// Panics when the plan's knobs are out of range
+    /// ([`AdversaryPlan::validate`]) or a trigger/flip label is outside
+    /// the dataset's class range.
+    pub fn with_adversary(mut self, plan: AdversaryPlan) -> Self {
+        plan.validate();
+        if plan.is_clean() {
+            self.adversary = None;
+            return self;
+        }
+        let classes = self.train.num_classes();
+        if plan.backdoor_fraction > 0.0 {
+            assert!(plan.trigger_target < classes, "trigger target out of range");
+            assert!(
+                plan.trigger_width <= self.train.feature_dim(),
+                "trigger wider than the feature space"
+            );
+        }
+        if plan.label_flip_fraction > 0.0 {
+            assert!(
+                plan.flip_from < classes && plan.flip_to < classes,
+                "flip labels out of range"
+            );
+        }
+        let trigger = Trigger::corner(plan.trigger_width, plan.trigger_target);
+        let mut shards = HashMap::new();
+        for (client, indices) in self.partition.indices.iter().enumerate() {
+            let kind = match plan.kind(client) {
+                Some(k @ (AttackKind::Backdoor | AttackKind::LabelFlip)) => k,
+                _ => continue,
+            };
+            if indices.is_empty() {
+                continue;
+            }
+            let local = self.train.subset(indices);
+            let mut features = local.features().clone();
+            let mut labels = local.labels().to_vec();
+            let picked: Vec<usize> = (0..local.len())
+                .filter(|&r| plan.poisons_row(client, r))
+                .collect();
+            let rows = match kind {
+                AttackKind::Backdoor => {
+                    trigger.apply(&mut features, &mut labels, &picked);
+                    picked.len()
+                }
+                AttackKind::LabelFlip => {
+                    gfl_data::poison::label_flip(&mut labels, &picked, plan.flip_from, plan.flip_to)
+                }
+                AttackKind::ModelPoison => unreachable!(),
+            };
+            if rows == 0 {
+                continue; // campaign touched nothing: the shard is honest
+            }
+            let len = labels.len();
+            shards.insert(
+                client,
+                PoisonedShard {
+                    data: Dataset::new(features, labels, classes),
+                    indices: (0..len).collect(),
+                    rows,
+                    kind,
+                },
+            );
+        }
+        let trigger_eval = (plan.backdoor_fraction > 0.0).then(|| {
+            let n = self.test.len().clamp(1, 256);
+            // Plan-seeded stream: independent of every engine stream.
+            let mut rng = init::rng(plan.seed ^ 0x5452_4947_4556_414C); // "TRIGEVAL"
+            trigger.attack_eval_set(&self.test, n, &mut rng)
+        });
+        let flip_eval = (plan.label_flip_fraction > 0.0)
+            .then(|| {
+                let rows: Vec<usize> = (0..self.test.len())
+                    .filter(|&i| self.test.labels()[i] == plan.flip_from)
+                    .collect();
+                if rows.is_empty() {
+                    return None;
+                }
+                let batch = self.test.batch(&rows);
+                let labels = vec![plan.flip_to; rows.len()];
+                Some(Dataset::new(batch.features, labels, classes))
+            })
+            .flatten();
+        self.adversary = Some(AdversaryState {
+            plan,
+            shards,
+            trigger_eval,
+            flip_eval,
+        });
+        self
+    }
+
+    /// The adversary plan attached via [`Trainer::with_adversary`], if the
+    /// plan was not clean.
+    pub fn adversary_plan(&self) -> Option<&AdversaryPlan> {
+        self.adversary.as_ref().map(|a| &a.plan)
     }
 
     /// Selects the group-level aggregation rule for Line 14. The default
@@ -669,14 +834,28 @@ impl Trainer {
                     .collect();
                 ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
             }
+            // Measured defense-filter work (FLAME-style cosine clustering)
+            // lands in the ledger alongside the emulated group ops, so a
+            // real defense shows up in the emulated round time.
+            let (defense_sims, defense_norms) = outcomes.iter().fold((0u64, 0u64), |acc, o| {
+                (
+                    acc.0 + o.defense.similarity_evals,
+                    acc.1 + o.defense.norm_passes,
+                )
+            });
+            if defense_sims > 0 || defense_norms > 0 {
+                ledger.charge_defense(defense_sims, defense_norms);
+            }
             ledger.end_round();
 
             // Graceful degradation: the survivor quorum, the non-finite
             // gate, and edge→cloud upload retries decide which group
             // models reach Line 15. Clean runs pass every outcome through.
             let mut included: Vec<&GroupOutcome> = Vec::with_capacity(outcomes.len());
+            let mut round_attacks: Vec<AttackEvent> = Vec::new();
             for o in &outcomes {
                 round_events.extend(o.events.iter().cloned());
+                round_attacks.extend(o.attacks.iter().cloned());
                 if let Some(fs) = &self.faults {
                     let required = (fs.policy.quorum_fraction
                         * (cfg.group_rounds * o.samples) as f64)
@@ -784,12 +963,32 @@ impl Trainer {
 
             let fault_events = round_events.len() as u64;
             history.record_faults(round_events);
+            let attack_summary = summarize_attacks(&round_attacks);
+            history.record_attacks(round_attacks);
 
             let over_budget = cfg.cost_budget.is_some_and(|b| ledger.total() >= b);
             let mut eval_ns = 0u64;
+            let mut asr: Option<AsrRecord> = None;
             if t.is_multiple_of(cfg.eval_every) || last || over_budget {
                 let eval_start = obs.map(|ob| ob.now_ns());
                 let eval = self.evaluate(params);
+                // Attack-success rates, on the same cadence as accuracy:
+                // both eval sets carry the attacker's label, so plain
+                // accuracy on them *is* the success rate.
+                if let Some(adv) = &self.adversary {
+                    let rate = |d: &Dataset| {
+                        self.model
+                            .evaluate(params, d.features(), d.labels())
+                            .accuracy
+                    };
+                    let r = AsrRecord {
+                        round: t,
+                        trigger_asr: adv.trigger_eval.as_ref().map(&rate),
+                        flip_asr: adv.flip_eval.as_ref().map(&rate),
+                    };
+                    history.record_asr(r);
+                    asr = Some(r);
+                }
                 if let Some(ob) = obs {
                     let start = eval_start.unwrap();
                     let end = ob.now_ns();
@@ -841,6 +1040,29 @@ impl Trainer {
                 m.counter("clients.trained").add(clients_trained);
                 m.gauge("cost.total").set(ledger.total());
                 m.gauge("pool.utilization").set(pool.utilization());
+                // Attack/defense telemetry only exists on runs that opted
+                // in, so clean traces are byte-identical to pre-adversary
+                // ones.
+                if self.adversary.is_some() {
+                    m.counter("attacks.injected")
+                        .add(attack_summary.injected() as u64);
+                    m.counter("attacks.filtered.flame")
+                        .add(attack_summary.filtered_flame as u64);
+                    m.counter("attacks.filtered.non_finite")
+                        .add(attack_summary.filtered_non_finite as u64);
+                    if let Some(r) = asr {
+                        if let Some(v) = r.trigger_asr {
+                            m.gauge("asr.trigger").set(v as f64);
+                        }
+                        if let Some(v) = r.flip_asr {
+                            m.gauge("asr.flip").set(v as f64);
+                        }
+                    }
+                }
+                if defense_sims > 0 || defense_norms > 0 {
+                    m.counter("defense.similarity_evals").add(defense_sims);
+                    m.counter("defense.norm_passes").add(defense_norms);
+                }
                 let ms = |ns: u64| ns as f64 / 1e6;
                 let buckets = &gfl_obs::metrics::PHASE_MS_BUCKETS;
                 m.histogram("round.train_ms", buckets).observe(ms(train_ns));
@@ -1113,6 +1335,7 @@ impl Trainer {
                         buf: Params::new(),
                         live: false,
                         event: None,
+                        attack: None,
                         loss: None,
                     })
                     .collect(),
@@ -1122,6 +1345,8 @@ impl Trainer {
                 uploads: 0,
                 upload_samples: 0,
                 events: Vec::new(),
+                attacks: Vec::new(),
+                defense: DefenseCost::default(),
                 n_g: self.group_samples(group).max(1),
             })
             .collect();
@@ -1183,10 +1408,19 @@ impl Trainer {
                     if let Some(ev) = slot.event.take() {
                         ctx.events.push(ev);
                     }
+                    if let Some(at) = slot.attack.take() {
+                        ctx.attacks.push(at);
+                    }
                     if let Some(loss) = slot.loss.take() {
                         ctx.loss_acc += loss;
                         ctx.loss_n += 1;
                     }
+                }
+                // The FLAME-style filter runs before the survivor tally so
+                // rejected updates neither count as uploads nor reach the
+                // group aggregate; accepted updates are clipped in place.
+                if self.robust_agg == RobustAggRule::FlameFilter {
+                    self.flame_filter(ctx, t, k);
                 }
                 // Line 14: group aggregation, weighted by n_i over this
                 // round's survivors.
@@ -1218,8 +1452,10 @@ impl Trainer {
                         t,
                         k,
                     );
-                } else if self.robust_agg != RobustAggRule::Mean
-                    && ctx.slots.iter().filter(|s| s.live).count() >= 3
+                } else if !matches!(
+                    self.robust_agg,
+                    RobustAggRule::Mean | RobustAggRule::FlameFilter
+                ) && ctx.slots.iter().filter(|s| s.live).count() >= 3
                 {
                     let survivors: Vec<Vec<Scalar>> = ctx
                         .slots
@@ -1258,8 +1494,71 @@ impl Trainer {
                 uploads: ctx.uploads,
                 upload_samples: ctx.upload_samples,
                 events: ctx.events,
+                attacks: ctx.attacks,
+                defense: ctx.defense,
             })
             .collect()
+    }
+
+    /// FLAME-style group defense (Line 14 pre-filter): clusters the live
+    /// slots' *deltas* by cosine similarity, rejects the suspicious
+    /// minority, and clips the accepted deltas to the median norm. Rejected
+    /// slots are marked dead — they never reach the survivor tally or the
+    /// aggregate — and rejected *adversaries* are logged as
+    /// [`AttackEvent::AttackFiltered`]. Honest clients the filter cuts are
+    /// collateral damage, not attacks, so they are not logged.
+    fn flame_filter(&self, ctx: &mut GroupCtx<'_>, t: usize, k: usize) {
+        let live: Vec<usize> = (0..ctx.slots.len())
+            .filter(|&i| ctx.slots[i].live)
+            .collect();
+        if live.len() < 3 {
+            return; // too few survivors to cluster: pass everyone through
+        }
+        let mut deltas: Vec<Vec<Scalar>> = live
+            .iter()
+            .map(|&i| {
+                ctx.slots[i]
+                    .buf
+                    .iter()
+                    .zip(ctx.group_params.iter())
+                    .map(|(&w, &s)| w - s)
+                    .collect()
+            })
+            .collect();
+        let report =
+            gfl_defense::filter_updates(&mut deltas, &gfl_defense::DefenseConfig::default());
+        ctx.defense.similarity_evals += report.cost.similarity_evals;
+        ctx.defense.norm_passes += report.cost.norm_passes;
+        for (pos, delta) in deltas.iter().enumerate() {
+            let slot_idx = live[pos];
+            if report.rejected.contains(&pos) {
+                ctx.slots[slot_idx].live = false;
+                let client = ctx.group[slot_idx];
+                if self
+                    .adversary
+                    .as_ref()
+                    .is_some_and(|a| a.plan.is_adversary(client))
+                {
+                    ctx.attacks.push(AttackEvent::AttackFiltered {
+                        round: t,
+                        group_round: k,
+                        group: ctx.gi,
+                        client,
+                        stage: DefenseStage::FlameFilter,
+                    });
+                }
+            } else {
+                // Write the clipped delta back so the weighted-mean path
+                // aggregates exactly what the defense admitted.
+                for (w, (&d, &s)) in ctx.slots[slot_idx]
+                    .buf
+                    .iter_mut()
+                    .zip(delta.iter().zip(ctx.group_params.iter()))
+                {
+                    *w = s + d;
+                }
+            }
+        }
     }
 
     /// One client's local training within one group round (Line 13, plus
@@ -1283,6 +1582,7 @@ impl Trainer {
         let slot = &mut *unit.slot;
         slot.live = false;
         slot.event = None;
+        slot.attack = None;
         slot.loss = None;
         let indices = &self.partition.indices[client];
         // Injected faults: crashes vanish mid-round, stragglers past the
@@ -1333,12 +1633,42 @@ impl Trainer {
         }
         slot.buf.clear();
         slot.buf.extend_from_slice(unit.start);
+        // Compromised data poisoners train on their pre-poisoned shard;
+        // everyone else trains on the honest partition. Swapping the shard
+        // here — inside the client update boundary — means the poison is
+        // already baked in *before* any masking or robust aggregation, so
+        // attacks survive SecAgg exactly as they would in deployment.
+        let adv = self.adversary.as_ref();
+        let shard = adv.and_then(|a| a.shards.get(&client));
+        let (data, indices): (&Dataset, &[usize]) = match shard {
+            Some(s) => (&s.data, &s.indices),
+            None => (&self.train, indices),
+        };
+        if let Some(s) = shard {
+            slot.attack = Some(match s.kind {
+                AttackKind::Backdoor => AttackEvent::BackdoorInjected {
+                    round: t,
+                    group_round: k,
+                    group: unit.gi,
+                    client,
+                    rows: s.rows,
+                },
+                AttackKind::LabelFlip => AttackEvent::LabelsFlipped {
+                    round: t,
+                    group_round: k,
+                    group: unit.gi,
+                    client,
+                    rows: s.rows,
+                },
+                AttackKind::ModelPoison => unreachable!("model poisoners have no shard"),
+            });
+        }
         let task = LocalTask {
             client,
             model: &self.model,
             group_start: unit.start,
             global_start: global,
-            data: &self.train,
+            data,
             indices,
             epochs: cfg.local_rounds,
             batch_size: cfg.batch_size,
@@ -1349,6 +1679,34 @@ impl Trainer {
         if !indices.is_empty() {
             slot.loss = Some(loss);
         }
+        // Model poisoners train honestly, then amplify their uploaded
+        // delta (scale and/or sign-flip) — the model-replacement attack.
+        // Boosted backdoor clients amplify their poison-trained delta the
+        // same way, keeping the BackdoorInjected classification.
+        if let Some(a) = adv {
+            match a.plan.kind(client) {
+                Some(AttackKind::ModelPoison) => {
+                    let factor =
+                        a.plan.scale_factor as Scalar * if a.plan.sign_flip { -1.0 } else { 1.0 };
+                    for (w, &s) in slot.buf.iter_mut().zip(unit.start.iter()) {
+                        *w = s + factor * (*w - s);
+                    }
+                    slot.attack = Some(AttackEvent::UpdatePoisoned {
+                        round: t,
+                        group_round: k,
+                        group: unit.gi,
+                        client,
+                    });
+                }
+                Some(AttackKind::Backdoor) if a.plan.backdoor_boost != 1.0 => {
+                    let factor = a.plan.backdoor_boost as Scalar;
+                    for (w, &s) in slot.buf.iter_mut().zip(unit.start.iter()) {
+                        *w = s + factor * (*w - s);
+                    }
+                }
+                _ => {}
+            }
+        }
         if let Some(fs) = fs {
             if fs.injector.corrupts(t, k, client) {
                 // The update arrives garbled: all weights NaN.
@@ -1357,6 +1715,17 @@ impl Trainer {
                 }
             }
             if fs.policy.reject_non_finite && !gfl_defense::is_update_finite(&slot.buf) {
+                // An adversary whose amplified update overflowed is caught
+                // here: the injection becomes an interception.
+                if slot.attack.take().is_some() {
+                    slot.attack = Some(AttackEvent::AttackFiltered {
+                        round: t,
+                        group_round: k,
+                        group: unit.gi,
+                        client,
+                        stage: DefenseStage::NonFiniteGate,
+                    });
+                }
                 slot.event = Some(FaultEvent::CorruptRejected {
                     round: t,
                     group_round: k,

@@ -3,11 +3,29 @@
 //! log a degraded run leaves behind (who was cut, which groups were
 //! skipped, what was retried or rejected).
 
-use gfl_faults::{summarize, FaultEvent, FaultSummary};
+use gfl_faults::{
+    summarize, summarize_attacks, AttackEvent, AttackSummary, FaultEvent, FaultSummary,
+};
 use gfl_tensor::Scalar;
 use serde::{Deserialize, Serialize};
 
 use crate::membership::{summarize_regroups, RegroupEvent, RegroupSummary};
+
+/// One attack-success-rate measurement, taken at the same cadence as the
+/// accuracy evaluations of an adversarial run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AsrRecord {
+    /// Global round index `t` (0-based, recorded after the round).
+    pub round: usize,
+    /// Fraction of the held-out *trigger set* (non-target test samples
+    /// stamped with the backdoor trigger) the global model classifies as
+    /// the attacker's target label. `None` when no backdoor campaign runs.
+    pub trigger_asr: Option<Scalar>,
+    /// Fraction of the held-out *flip set* (test samples whose true label
+    /// is the flip source) the model classifies as the flip target.
+    /// `None` when no label-flip campaign runs.
+    pub flip_asr: Option<Scalar>,
+}
 
 /// One evaluated point of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +53,13 @@ pub struct RunHistory {
     /// than a bare `Vec`) so pre-churn serialized histories, which lack
     /// the field entirely, still deserialize; static runs leave it `None`.
     regroups: Option<Vec<RegroupEvent>>,
+    /// Attack log of an adversarial run (injections and defense filters).
+    /// `Option` for the same legacy-tolerance reason as `regroups`; clean
+    /// runs leave it `None`.
+    attacks: Option<Vec<AttackEvent>>,
+    /// Attack-success-rate trajectory, one entry per evaluation round of
+    /// an adversarial run. `None` for clean runs.
+    asr: Option<Vec<AsrRecord>>,
 }
 
 impl RunHistory {
@@ -96,6 +121,52 @@ impl RunHistory {
         self.regroup_events()
             .iter()
             .filter(move |e| e.round() == round)
+    }
+
+    /// Appends a batch of attack events (one round's worth, in order).
+    /// An empty batch is a no-op, so clean runs stay equal (`PartialEq`)
+    /// to runs with no adversary plan at all.
+    pub fn record_attacks(&mut self, events: impl IntoIterator<Item = AttackEvent>) {
+        let mut it = events.into_iter().peekable();
+        if it.peek().is_some() {
+            self.attacks.get_or_insert_with(Vec::new).extend(it);
+        }
+    }
+
+    /// The full attack log, in injection order.
+    pub fn attack_events(&self) -> &[AttackEvent] {
+        self.attacks.as_deref().unwrap_or(&[])
+    }
+
+    /// Attack-event counts by kind.
+    pub fn attack_summary(&self) -> AttackSummary {
+        summarize_attacks(self.attack_events())
+    }
+
+    /// Attack events of one global round.
+    pub fn attacks_in_round(&self, round: usize) -> impl Iterator<Item = &AttackEvent> {
+        self.attack_events()
+            .iter()
+            .filter(move |e| e.round() == round)
+    }
+
+    /// Appends one attack-success-rate measurement. A record with neither
+    /// rate present is dropped, so runs without an adversary stay equal
+    /// (`PartialEq`) to clean runs.
+    pub fn record_asr(&mut self, r: AsrRecord) {
+        if r.trigger_asr.is_some() || r.flip_asr.is_some() {
+            self.asr.get_or_insert_with(Vec::new).push(r);
+        }
+    }
+
+    /// The attack-success-rate trajectory, in evaluation order.
+    pub fn asr_records(&self) -> &[AsrRecord] {
+        self.asr.as_deref().unwrap_or(&[])
+    }
+
+    /// The latest attack-success-rate measurement, if any.
+    pub fn last_asr(&self) -> Option<&AsrRecord> {
+        self.asr_records().last()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -269,6 +340,65 @@ mod tests {
         let legacy = r#"{"records":[],"faults":[]}"#;
         let back: RunHistory = serde_json::from_str(legacy).unwrap();
         assert!(back.regroup_events().is_empty());
+    }
+
+    #[test]
+    fn attack_log_and_asr_accumulate_and_summarize() {
+        let mut h = hist();
+        assert!(h.attack_events().is_empty());
+        assert_eq!(h.attack_summary().injected(), 0);
+        assert!(h.asr_records().is_empty());
+        h.record_attacks(vec![
+            AttackEvent::BackdoorInjected {
+                round: 1,
+                group_round: 0,
+                group: 0,
+                client: 2,
+                rows: 7,
+            },
+            AttackEvent::UpdatePoisoned {
+                round: 2,
+                group_round: 1,
+                group: 1,
+                client: 9,
+            },
+        ]);
+        // Empty batches and all-`None` ASR records must not materialize
+        // the optional fields.
+        h.record_attacks(Vec::new());
+        h.record_asr(AsrRecord {
+            round: 0,
+            trigger_asr: None,
+            flip_asr: None,
+        });
+        h.record_asr(AsrRecord {
+            round: 2,
+            trigger_asr: Some(0.8),
+            flip_asr: None,
+        });
+        assert_eq!(h.attack_events().len(), 2);
+        assert_eq!(h.attack_summary().backdoor, 1);
+        assert_eq!(h.attack_summary().model_poison, 1);
+        assert_eq!(h.attacks_in_round(2).count(), 1);
+        assert_eq!(h.asr_records().len(), 1);
+        assert_eq!(h.last_asr().unwrap().trigger_asr, Some(0.8));
+        // A pre-adversary serialized history still loads.
+        let legacy = r#"{"records":[],"faults":[]}"#;
+        let back: RunHistory = serde_json::from_str(legacy).unwrap();
+        assert!(back.attack_events().is_empty());
+        assert!(back.asr_records().is_empty());
+    }
+
+    #[test]
+    fn clean_history_with_no_attacks_stays_equal_to_default_shape() {
+        let mut h = RunHistory::default();
+        h.record_attacks(Vec::new());
+        h.record_asr(AsrRecord {
+            round: 0,
+            trigger_asr: None,
+            flip_asr: None,
+        });
+        assert_eq!(h, RunHistory::default());
     }
 
     #[test]

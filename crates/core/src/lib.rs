@@ -64,11 +64,14 @@ pub mod prelude {
     pub use crate::grouping::{
         CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
     };
-    pub use crate::history::{RoundRecord, RunHistory};
+    pub use crate::history::{AsrRecord, RoundRecord, RunHistory};
     pub use crate::local::{FedAvg, LocalTask, LocalUpdate};
     pub use crate::membership::{
         summarize_regroups, MembershipState, RegroupEvent, RegroupPolicy, RegroupSummary,
     };
     pub use crate::sampling::{AggregationWeighting, SamplingStrategy};
     pub use crate::Group;
+    pub use gfl_faults::{
+        summarize_attacks, AdversaryPlan, AttackEvent, AttackKind, AttackSummary, DefenseStage,
+    };
 }

@@ -17,7 +17,7 @@ use std::sync::Mutex;
 use gfl_core::membership::RegroupPolicy;
 use gfl_core::prelude::*;
 use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
-use gfl_faults::{ChurnPlan, FaultPlan, FaultPolicy};
+use gfl_faults::{AdversaryPlan, ChurnPlan, FaultPlan, FaultPolicy};
 use gfl_sim::Topology;
 
 /// Thread counts every path must agree across.
@@ -209,6 +209,73 @@ fn traced_run_is_bit_identical_to_untraced_run() {
         assert_eq!(back.meta.threads, threads as u64);
     }
     gfl_parallel::set_default_parallelism(0);
+}
+
+#[test]
+fn attacked_defended_run_is_bit_identical_across_thread_counts() {
+    // Poisoned shards, amplified uploads, FLAME interceptions, the attack
+    // log, and the ASR trajectory are all pure functions of (plan, t, k,
+    // client) — none may move with the scheduler.
+    let (cfg, model, part, _topo, _groups, train, test) = world(36);
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 4,
+            max_cov: 10.0,
+        },
+        &Topology::even_split(2, part.sizes()),
+        &part.label_matrix,
+        cfg.seed,
+    );
+    let plan = AdversaryPlan {
+        backdoor_fraction: 0.2,
+        label_flip_fraction: 0.15,
+        model_poison_fraction: 0.15,
+        ..AdversaryPlan::moderate(cfg.seed)
+    };
+    assert_bit_identical(|| {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_adversary(plan.clone())
+        .with_robust_agg(RobustAggRule::FlameFilter);
+        let (h, p) = t.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        assert!(
+            h.attack_summary().injected() > 0,
+            "plan should attack for this test to mean anything"
+        );
+        (h, p)
+    });
+}
+
+#[test]
+fn attacked_secure_aggregation_run_is_bit_identical_across_thread_counts() {
+    // Attacks inside the masked domain: the poison is baked into the
+    // update before masking, and the whole secure path must still agree
+    // across thread counts.
+    let (cfg, model, part, _topo, groups, train, test) = world(37);
+    let mut cfg = cfg;
+    cfg.secure_aggregation = true;
+    let plan = AdversaryPlan {
+        backdoor_fraction: 0.25,
+        ..AdversaryPlan::moderate(cfg.seed)
+    };
+    assert_bit_identical(|| {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_adversary(plan.clone());
+        let (h, p) = t.run_returning_params(&groups, &FedAvg, SamplingStrategy::Random);
+        assert!(h.attack_summary().injected() > 0, "plan should attack");
+        (h, p)
+    });
 }
 
 #[test]

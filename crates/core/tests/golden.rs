@@ -1,6 +1,7 @@
 //! Golden-trace regression tests: canonical `RunHistory` snapshots.
 //!
-//! Each scenario (clean, faulted, churned/self-healing, secure) runs a
+//! Each scenario (clean, faulted, churned/self-healing, secure, attacked)
+//! runs a
 //! small fixed federation at two fixed seeds and compares the serialized
 //! `RunHistory` — evaluation records, fault log, and regroup log — field
 //! by field against a committed JSON snapshot under `tests/golden/`. Any
@@ -26,7 +27,7 @@
 use gfl_core::membership::RegroupPolicy;
 use gfl_core::prelude::*;
 use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
-use gfl_faults::{ChurnPlan, FaultPlan, FaultPolicy};
+use gfl_faults::{AdversaryPlan, ChurnPlan, FaultPlan, FaultPolicy};
 use gfl_sim::Topology;
 use serde::Value;
 
@@ -117,6 +118,36 @@ fn run_scenario(name: &str, seed: u64) -> RunHistory {
             cfg.secure_aggregation = true;
             let t = Trainer::new(cfg, model, train, part, test);
             t.run(&groups, &FedAvg, SamplingStrategy::Random)
+        }
+        "attacked" => {
+            // Attacked + defended: a mixed campaign against FLAME-filtered
+            // aggregation. Groups are re-formed larger so the filter's
+            // ≥3-live-member floor is met and interceptions actually land
+            // in the snapshot.
+            let groups = form_groups_per_edge(
+                &CovGrouping {
+                    min_group_size: 4,
+                    max_cov: 10.0,
+                },
+                &topo,
+                &part.label_matrix,
+                seed,
+            );
+            let plan = AdversaryPlan {
+                backdoor_fraction: 0.2,
+                label_flip_fraction: 0.15,
+                model_poison_fraction: 0.15,
+                ..AdversaryPlan::moderate(77 + seed)
+            };
+            let t = Trainer::new(cfg, model, train, part, test)
+                .with_adversary(plan)
+                .with_robust_agg(RobustAggRule::FlameFilter);
+            let h = t.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+            assert!(
+                h.attack_summary().injected() > 0,
+                "attacked snapshot must contain injections"
+            );
+            h
         }
         other => panic!("unknown scenario {other}"),
     }
@@ -219,6 +250,13 @@ fn golden_churned_histories_match() {
 fn golden_secure_histories_match() {
     for seed in GOLDEN_SEEDS {
         check_golden("secure", seed);
+    }
+}
+
+#[test]
+fn golden_attacked_histories_match() {
+    for seed in GOLDEN_SEEDS {
+        check_golden("attacked", seed);
     }
 }
 

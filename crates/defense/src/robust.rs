@@ -31,7 +31,7 @@ pub fn coordinate_median(updates: &[Vec<Scalar>]) -> Vec<Scalar> {
             assert_eq!(u.len(), dim, "ragged updates");
             *c = u[j];
         }
-        column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        column.sort_by(Scalar::total_cmp);
         let mid = column.len() / 2;
         *o = if column.len() % 2 == 1 {
             column[mid]
@@ -63,7 +63,7 @@ pub fn trimmed_mean(updates: &[Vec<Scalar>], trim: usize) -> Vec<Scalar> {
             assert_eq!(u.len(), dim, "ragged updates");
             *c = u[j];
         }
-        column.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        column.sort_by(Scalar::total_cmp);
         *o = column[trim..updates.len() - trim].iter().sum::<Scalar>() / keep as Scalar;
     }
     out
@@ -87,7 +87,7 @@ fn krum_scores(updates: &[Vec<Scalar>], byzantine: usize) -> Vec<Scalar> {
                     .sum()
             };
         }
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        dists.sort_by(Scalar::total_cmp);
         scores.push(dists[..closest].iter().sum());
     }
     scores
@@ -101,10 +101,12 @@ fn krum_scores(updates: &[Vec<Scalar>], byzantine: usize) -> Vec<Scalar> {
 pub fn krum(updates: &[Vec<Scalar>], byzantine: usize) -> usize {
     assert!(!updates.is_empty(), "no updates to aggregate");
     let scores = krum_scores(updates, byzantine);
+    // `total_cmp` orders NaN scores after every finite score, so a single
+    // non-finite update cannot panic the aggregator — it just loses.
     scores
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .unwrap()
 }
@@ -115,7 +117,7 @@ pub fn multi_krum(updates: &[Vec<Scalar>], byzantine: usize, m: usize) -> Vec<Sc
     let m = m.clamp(1, updates.len());
     let scores = krum_scores(updates, byzantine);
     let mut order: Vec<usize> = (0..updates.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let dim = updates[0].len();
     let mut out = vec![0.0; dim];
     for &i in &order[..m] {
@@ -197,5 +199,65 @@ mod tests {
         assert_eq!(coordinate_median(&ups), vec![2.0, -1.0]);
         assert_eq!(trimmed_mean(&ups, 1), vec![2.0, -1.0]);
         assert_eq!(multi_krum(&ups, 1, 3), vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn nan_bearing_update_cannot_panic_any_rule() {
+        // Regression: krum/multi-krum used `partial_cmp().unwrap()`, so one
+        // non-finite coordinate panicked the aggregator mid-round.
+        let mut ups = with_outlier();
+        ups[4] = vec![Scalar::NAN, Scalar::NAN];
+        let picked = krum(&ups, 1);
+        assert!(picked < 4, "krum must avoid the NaN update, got {picked}");
+        let mk = multi_krum(&ups, 1, 3);
+        assert!(mk.iter().all(|v| v.is_finite()), "{mk:?}");
+        // NaN sorts last under total_cmp: a minority of NaN values cannot
+        // reach the median or survive the trim.
+        let med = coordinate_median(&ups);
+        assert!(med.iter().all(|v| v.is_finite()), "{med:?}");
+        let tm = trimmed_mean(&ups, 1);
+        assert!(tm.iter().all(|v| v.is_finite()), "{tm:?}");
+    }
+
+    fn random_updates(n: usize, dim: usize, seed: u64) -> Vec<Vec<Scalar>> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect()
+    }
+
+    fn rotations(ups: &[Vec<Scalar>]) -> Vec<Vec<Vec<Scalar>>> {
+        (1..ups.len())
+            .map(|s| {
+                let mut p = ups.to_vec();
+                p.rotate_left(s);
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn median_and_trimmed_mean_are_permutation_invariant_bitwise() {
+        let ups = random_updates(9, 64, 5);
+        let med = coordinate_median(&ups);
+        let tm = trimmed_mean(&ups, 2);
+        for perm in rotations(&ups) {
+            // Sorting each coordinate column canonicalizes the summation
+            // order, so the result is *bitwise* identical, not just close.
+            assert_eq!(coordinate_median(&perm), med);
+            assert_eq!(trimmed_mean(&perm, 2), tm);
+        }
+    }
+
+    #[test]
+    fn krum_family_is_permutation_invariant_bitwise() {
+        let ups = random_updates(9, 64, 6);
+        let selected = ups[krum(&ups, 2)].clone();
+        let mk = multi_krum(&ups, 2, 4);
+        for perm in rotations(&ups) {
+            assert_eq!(perm[krum(&perm, 2)], selected);
+            assert_eq!(multi_krum(&perm, 2, 4), mk);
+        }
     }
 }

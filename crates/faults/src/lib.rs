@@ -31,8 +31,12 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod adversary;
 pub mod churn;
 
+pub use adversary::{
+    summarize_attacks, AdversaryPlan, AttackEvent, AttackKind, AttackSummary, DefenseStage,
+};
 pub use churn::ChurnPlan;
 
 /// A half-open round range `[from_round, until_round)` during which one

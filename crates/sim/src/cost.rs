@@ -100,6 +100,18 @@ impl CostModel {
         self.training.eval(samples)
     }
 
+    /// Emulated seconds for *measured* defense work — the operation
+    /// counters `gfl-defense` reports when the FLAME-style filter actually
+    /// runs (as opposed to the static per-group-round `BackdoorDetection`
+    /// charge, which emulates the op whether or not it fires). Rates are
+    /// anchored to the calibrated backdoor quadratic's coefficients: a
+    /// pairwise similarity evaluation costs `8·c₂` and a norm pass `c₁`,
+    /// so the measured total stays quadratic in group size like `O_g` and
+    /// keeps the Vision > Speech ordering.
+    pub fn defense_seconds(&self, similarity_evals: u64, norm_passes: u64) -> f64 {
+        8.0 * self.backdoor.c2 * similarity_evals as f64 + self.backdoor.c1 * norm_passes as f64
+    }
+
     /// Cost charged to one *group round* for one group (the inner term of
     /// Eq. 5): `Σ_{c_i∈g} (O_g(|g|) + E·H_i(n_i))`, where `ops` lists the
     /// group operations performed each group round.

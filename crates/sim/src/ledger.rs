@@ -18,11 +18,14 @@ pub struct CostBreakdown {
     pub training: f64,
     /// Group-operation seconds (`O_g` terms).
     pub group_ops: f64,
+    /// Measured defense seconds (actual `gfl-defense` filter work, charged
+    /// on top of the emulated `O_g` ops only when the filter really runs).
+    pub defense: f64,
 }
 
 impl CostBreakdown {
     pub fn total(&self) -> f64 {
-        self.training + self.group_ops
+        self.training + self.group_ops + self.defense
     }
 }
 
@@ -71,6 +74,13 @@ impl CostLedger {
                 .sum::<f64>();
         self.breakdown.group_ops += ops_cost;
         self.breakdown.training += train_cost;
+    }
+
+    /// Charges measured defense work (the `DefenseCost` counters the
+    /// FLAME-style filter reports) at the model's calibrated rates, so
+    /// running a real defense shows up in the emulated round time.
+    pub fn charge_defense(&mut self, similarity_evals: u64, norm_passes: u64) {
+        self.breakdown.defense += self.model.defense_seconds(similarity_evals, norm_passes);
     }
 
     /// Marks the end of a global round, snapshotting the running total.
@@ -158,6 +168,25 @@ mod tests {
         for w in totals.windows(2) {
             assert!(w[1] >= w[0]);
         }
+    }
+
+    #[test]
+    fn defense_work_is_charged_and_shows_in_the_total() {
+        let model = CostModel::for_task(Task::Vision);
+        let mut ledger = CostLedger::new(model, vec![GroupOpKind::BackdoorDetection]);
+        ledger.charge_group(&[10, 20, 30], 2, 1);
+        let before = ledger.total();
+        // A real 16-client filter pass: 16·15/2 pairwise sims, 2·16 norms.
+        ledger.charge_defense(120, 32);
+        let charged = ledger.total() - before;
+        assert!((charged - model.defense_seconds(120, 32)).abs() < 1e-12);
+        assert!(charged > 0.0);
+        assert!((ledger.breakdown().defense - charged).abs() < 1e-12);
+        // Vision defense work must stay costlier than Speech, like O_g.
+        assert!(
+            CostModel::for_task(Task::Vision).defense_seconds(120, 32)
+                > CostModel::for_task(Task::Speech).defense_seconds(120, 32)
+        );
     }
 
     #[test]
