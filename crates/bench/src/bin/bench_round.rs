@@ -20,7 +20,9 @@ use std::time::Instant;
 use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, Trainer};
 use gfl_core::grouping::CovGrouping;
 use gfl_core::local::FedAvg;
+use gfl_core::prelude::{FaultPlan, FaultPolicy};
 use gfl_core::sampling::SamplingStrategy;
+use gfl_core::semi_async::AsyncConfig;
 use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
 use gfl_sim::Topology;
 
@@ -48,7 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn build_paper_scale(rounds: usize) -> (Trainer, Vec<Vec<usize>>) {
+fn build_paper_scale(rounds: usize) -> (Trainer, Vec<Vec<usize>>, Topology) {
     let data = SyntheticSpec::vision_like().generate(6_000, 1);
     let (train, test) = data.split_holdout(6);
     let partition = ClientPartition::dirichlet(
@@ -79,7 +81,31 @@ fn build_paper_scale(rounds: usize) -> (Trainer, Vec<Vec<usize>>) {
     (
         Trainer::new(config, gfl_nn::zoo::vision_model(), train, partition, test),
         groups,
+        topology,
     )
+}
+
+/// Runs the same workload through the event-driven scheduler under a
+/// straggler plan (a quarter of the fleet slowed 8×) and returns the
+/// final emulated clock — wait-for-all vs quorum-or-deadline
+/// (docs/ASYNC.md). Deterministic, so the clocks are exact, not sampled.
+fn emulated_clock_s(rounds: usize, policy: FaultPolicy) -> f64 {
+    let (trainer, groups, topology) = build_paper_scale(rounds);
+    let plan = FaultPlan {
+        seed: 1,
+        straggler_fraction: 0.25,
+        straggler_factor: 8.0,
+        straggler_jitter: 0.25,
+        ..FaultPlan::none()
+    };
+    let trainer = trainer.with_faults(plan, policy, &topology);
+    let (_, _, report) = trainer.run_semi_async(
+        &groups,
+        &FedAvg,
+        SamplingStrategy::ESRCov,
+        &AsyncConfig::default(),
+    );
+    report.final_clock_s()
 }
 
 fn main() {
@@ -100,7 +126,7 @@ fn main() {
     // Expose the counting allocator to the observability layer so traced
     // runs report allocs/round from the same counter this harness uses.
     gfl_obs::alloc::register_alloc_counter(|| ALLOCS.load(Ordering::Relaxed));
-    let (trainer, groups) = build_paper_scale(rounds);
+    let (trainer, groups, _) = build_paper_scale(rounds);
     let param_count = trainer.model().param_len();
 
     // Warm-up: populate scratch pools, page in the dataset.
@@ -140,6 +166,30 @@ fn main() {
         }));
         per_rounds.push(per_round);
     }
+    // Emulated wall-clock under stragglers: the same workload closed
+    // wait-for-all vs quorum-or-deadline through the semi-async runtime.
+    let clock_sync = emulated_clock_s(
+        rounds,
+        FaultPolicy {
+            quorum_fraction: 1.0,
+            deadline_factor: 0.0,
+            ..FaultPolicy::default()
+        },
+    );
+    let clock_semi = emulated_clock_s(
+        rounds,
+        FaultPolicy {
+            quorum_fraction: 0.8,
+            deadline_factor: 2.5,
+            ..FaultPolicy::default()
+        },
+    );
+    eprintln!(
+        "emulated clock under 8x stragglers: sync {:.1} s/round, semi-async {:.1} s/round ({:.2}x)",
+        clock_sync / rounds as f64,
+        clock_semi / rounds as f64,
+        clock_sync / clock_semi
+    );
     gfl_parallel::set_default_parallelism(0);
 
     let report = serde_json::json!({
@@ -149,6 +199,12 @@ fn main() {
         "cores": cores,
         "results": results,
         "speedup_8_vs_1_threads": per_rounds[0] / per_rounds[3],
+        "emulated_clock": serde_json::json!({
+            "plan": "straggler_fraction 0.25, straggler_factor 8.0, jitter 0.25 (docs/ASYNC.md)",
+            "sync_clock_s_per_round": clock_sync / rounds as f64,
+            "semi_async_clock_s_per_round": clock_semi / rounds as f64,
+            "semi_async_speedup": clock_sync / clock_semi,
+        }),
         "note": "results are bit-identical across thread counts; speedup only materializes when cores >= threads",
     });
     let pretty = serde_json::to_string_pretty(&report).unwrap();

@@ -13,6 +13,7 @@ use gfl_core::history::RunHistory;
 use gfl_core::local::{FedAvg, LocalUpdate};
 use gfl_core::membership::{MembershipState, RegroupPolicy};
 use gfl_core::sampling::{AggregationWeighting, SamplingStrategy};
+use gfl_core::semi_async::{AsyncConfig, AsyncReport, SchedulerState, StalenessPolicy};
 use gfl_core::theory::{self, TheoremInputs};
 use gfl_core::Group;
 use gfl_data::{ClientPartition, Dataset, PartitionSpec, SyntheticSpec};
@@ -89,6 +90,13 @@ TRAINING:
   --threads N        worker threads (0 = GFL_THREADS env, else all cores);
                      results are bit-identical for every N  [0]
 
+RUNTIME (deterministic semi-async rounds; see docs/ASYNC.md):
+  --runtime sync|semi-async   round engine               [sync]
+  --staleness-policy drop|weighted   late-upload policy  [drop]
+  --staleness-decay F  weighted-staleness damping        [1.0]
+  --cloud-deadline F   cloud close factor (0 = wait-all) [0]
+  --async-csv PATH     write the per-round async report as CSV
+
 FAULT INJECTION (deterministic; see docs/FAULTS.md):
   --faults none|moderate   preset fault plan            [none]
   --fault-seed N     fault decision seed                [--seed]
@@ -98,6 +106,8 @@ FAULT INJECTION (deterministic; see docs/FAULTS.md):
   --quorum F         min surviving-upload fraction      [0.25]
   --deadline-factor F      straggler cut threshold      [2.5]
   --max-retries N    edge->cloud upload retries         [3]
+  --backoff-base F   upload retry backoff base (s)      [0.5]
+  --max-backoff F    per-wait backoff cap (s)           [60]
 
 CHURN & SELF-HEALING (deterministic; see docs/FAULTS.md):
   --churn none|moderate    preset churn plan            [none]
@@ -206,7 +216,21 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let churn = parse_churn(&args, seed, config.global_rounds)?;
     let adversary = parse_adversary(&args, seed, train.num_classes(), train.feature_dim())?;
     let robust = parse_robust_agg(&args)?;
+    let runtime = parse_runtime(&args)?;
+    let async_csv = args.get_opt("async-csv");
     args.reject_unknown()?;
+    if runtime.is_some() && churn.is_some() {
+        return Err(CommandError::Invalid(
+            "--runtime semi-async cannot be combined with --churn: the \
+             scheduler has no self-healing entry point (see docs/ASYNC.md)"
+                .into(),
+        ));
+    }
+    if async_csv.is_some() && runtime.is_none() {
+        return Err(CommandError::Invalid(
+            "--async-csv requires --runtime semi-async".into(),
+        ));
+    }
     if robust != RobustAggRule::Mean && config.secure_aggregation {
         return Err(CommandError::Invalid(
             "--robust-agg cannot be combined with --secure: the masking \
@@ -245,7 +269,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         "training {method} on {} clients / {} edges ({param_count} params, {effective_threads} threads)",
         clients, edges
     )?;
-    let (history, final_params, membership) = match method.as_str() {
+    let (history, final_params, membership, async_report, scheduler) = match method.as_str() {
         "fedavg" => run_sim(
             &trainer,
             churn_on,
@@ -254,6 +278,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
             &topology,
             &FedAvg,
             sampling,
+            runtime.as_ref(),
         )?,
         "fedprox" => run_sim(
             &trainer,
@@ -263,6 +288,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
             &topology,
             &FedProx { mu },
             sampling,
+            runtime.as_ref(),
         )?,
         "scaffold" => run_sim(
             &trainer,
@@ -272,6 +298,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
             &topology,
             &Scaffold::new(param_count, clients),
             sampling,
+            runtime.as_ref(),
         )?,
         "fednova" => {
             let s = FedNova::from_sizes(
@@ -287,6 +314,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
                 &topology,
                 &s,
                 sampling,
+                runtime.as_ref(),
             )?
         }
         other => {
@@ -305,6 +333,21 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         )?;
     }
     writeln!(out, "\nbest accuracy: {:.4}", history.best_accuracy())?;
+    if let Some(rep) = &async_report {
+        let sum = |f: fn(&gfl_core::semi_async::AsyncRoundRecord) -> usize| -> usize {
+            rep.rounds.iter().map(f).sum()
+        };
+        writeln!(
+            out,
+            "semi-async: emulated clock {:.1} s, {} straggler cuts, \
+             {} stale admitted, {} stale dropped, {} busy skips",
+            rep.final_clock_s(),
+            rep.total_cut_reports(),
+            sum(|r| r.stale_admitted),
+            sum(|r| r.stale_dropped),
+            sum(|r| r.busy_skipped),
+        )?;
+    }
     if faults_on {
         writeln!(out, "faults: {}", history.fault_summary())?;
     }
@@ -356,6 +399,10 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         std::fs::write(&path, history.to_csv())?;
         writeln!(out, "wrote {path}")?;
     }
+    if let (Some(path), Some(rep)) = (async_csv, &async_report) {
+        std::fs::write(&path, rep.to_csv())?;
+        writeln!(out, "wrote {path}")?;
+    }
     if let Some(path) = checkpoint_path {
         let last = history.records().last();
         let mut cp = Checkpoint::new(
@@ -367,6 +414,9 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         );
         if let Some(m) = membership {
             cp = cp.with_membership(m);
+        }
+        if let Some(s) = scheduler {
+            cp = cp.with_scheduler(s);
         }
         cp.save(&path)
             .map_err(|e| CommandError::Invalid(e.to_string()))?;
@@ -435,6 +485,17 @@ fn write_metrics_summary(out: &mut dyn Write, trace: &gfl_obs::Trace) -> std::io
     Ok(())
 }
 
+/// Everything one simulation run can produce: the trajectory and final
+/// params always; membership only from self-healing runs; the async
+/// report and scheduler state only from semi-async runs.
+type SimOutput = (
+    RunHistory,
+    Params,
+    Option<MembershipState>,
+    Option<AsyncReport>,
+    Option<SchedulerState>,
+);
+
 /// Dispatches one simulation run: static groups for fixed-membership runs,
 /// the self-healing engine when a churn plan is active.
 #[allow(clippy::too_many_arguments)]
@@ -446,15 +507,20 @@ fn run_sim<S: LocalUpdate>(
     topology: &Topology,
     strategy: &S,
     sampling: SamplingStrategy,
-) -> Result<(RunHistory, Params, Option<MembershipState>), CommandError> {
-    if churned {
+    runtime: Option<&AsyncConfig>,
+) -> Result<SimOutput, CommandError> {
+    if let Some(acfg) = runtime {
+        let (h, p, rep, sched) =
+            trainer.run_semi_async_with_scheduler(groups, strategy, sampling, acfg);
+        Ok((h, p, None, Some(rep), Some(sched)))
+    } else if churned {
         let (h, p, m) = trainer
             .run_self_healing(grouping, topology, strategy, sampling)
             .map_err(|e| CommandError::Invalid(format!("regrouping failed: {e}")))?;
-        Ok((h, p, Some(m)))
+        Ok((h, p, Some(m), None, None))
     } else {
         let (h, p) = trainer.run_returning_params(groups, strategy, sampling);
-        Ok((h, p, None))
+        Ok((h, p, None, None, None))
     }
 }
 
@@ -720,32 +786,63 @@ fn parse_faults(args: &Args, seed: u64) -> Result<Option<(FaultPlan, FaultPolicy
             _ => return Err(ParseError::BadValue("outage".into(), spec, "edge:from:until").into()),
         }
     }
-    let probs = [
-        ("straggler-frac", plan.straggler_fraction),
-        ("crash-prob", plan.crash_prob),
-        ("corrupt-prob", plan.corrupt_prob),
-        ("upload-fail", plan.upload_fail_prob),
-    ];
-    for (key, p) in probs {
-        if !(0.0..=1.0).contains(&p) {
-            return Err(CommandError::Invalid(format!(
-                "--{key} must be a probability, got {p}"
-            )));
-        }
-    }
-    if plan.straggler_factor < 1.0 {
-        return Err(CommandError::Invalid(
-            "--straggler-factor must be >= 1.0 (slowdowns cannot speed up)".into(),
-        ));
-    }
+    // Typed validation (gfl_faults::FaultConfigError): NaN, negative, and
+    // out-of-range knobs fail here at parse time, not as engine panics.
+    plan.validate()
+        .map_err(|e| CommandError::Invalid(e.to_string()))?;
     let defaults = FaultPolicy::default();
     let policy = FaultPolicy {
         deadline_factor: args.get("deadline-factor", defaults.deadline_factor, "float")?,
         quorum_fraction: args.get("quorum", defaults.quorum_fraction, "float")?,
         max_retries: args.get("max-retries", defaults.max_retries, "int")?,
+        backoff_base_s: args.get("backoff-base", defaults.backoff_base_s, "float")?,
+        max_backoff_s: args.get("max-backoff", defaults.max_backoff_s, "float")?,
         ..defaults
     };
+    policy
+        .validate()
+        .map_err(|e| CommandError::Invalid(e.to_string()))?;
     Ok(any.then_some((plan, policy)))
+}
+
+/// Parses `--runtime` and the semi-async knobs into an [`AsyncConfig`].
+/// Returns `None` for the default lockstep engine.
+fn parse_runtime(args: &Args) -> Result<Option<AsyncConfig>, CommandError> {
+    let runtime = args.get_str("runtime", "sync");
+    let decay: f64 = args.get("staleness-decay", 1.0, "float")?;
+    let cloud: f64 = args.get("cloud-deadline", 0.0, "float")?;
+    let policy = args.get_str("staleness-policy", "drop");
+    match runtime.as_str() {
+        "sync" => Ok(None),
+        "semi-async" => {
+            if !decay.is_finite() || decay < 0.0 {
+                return Err(CommandError::Invalid(format!(
+                    "--staleness-decay must be finite and >= 0, got {decay}"
+                )));
+            }
+            if !cloud.is_finite() || cloud < 0.0 {
+                return Err(CommandError::Invalid(format!(
+                    "--cloud-deadline must be finite and >= 0 (0 waits for all), got {cloud}"
+                )));
+            }
+            let staleness = match policy.as_str() {
+                "drop" => StalenessPolicy::DropStale,
+                "weighted" => StalenessPolicy::Weighted { decay },
+                other => {
+                    return Err(CommandError::Invalid(format!(
+                        "unknown --staleness-policy '{other}' (drop|weighted)"
+                    )))
+                }
+            };
+            Ok(Some(AsyncConfig {
+                staleness,
+                cloud_deadline_factor: cloud,
+            }))
+        }
+        other => Err(CommandError::Invalid(format!(
+            "unknown --runtime '{other}' (sync|semi-async)"
+        ))),
+    }
 }
 
 /// Builds the churn plan + regroup policy from `--churn` and its override
@@ -1214,6 +1311,107 @@ mod tests {
                 &format!("--clients 8 --edges 2 --samples 900 --min-gs 2 {flags}"),
             );
             assert!(r.is_err(), "{flags} should be rejected");
+        }
+    }
+
+    #[test]
+    fn simulate_semi_async_session_prints_clock_summary() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 3 --k 2 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --runtime semi-async --staleness-policy weighted --cloud-deadline 1.5 \
+             --faults moderate --straggler-frac 0.4 --straggler-factor 8 \
+             --quorum 0.6 --deadline-factor 1.5",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("semi-async: emulated clock"), "{out}");
+    }
+
+    #[test]
+    fn simulate_semi_async_degenerate_limit_matches_sync_output() {
+        // With no faults and default knobs, the semi-async engine must
+        // print the exact same trajectory as the lockstep one.
+        let base = "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1";
+        let (r1, out1) = run_cmd(simulate, base);
+        r1.unwrap();
+        let (r2, out2) = run_cmd(simulate, &format!("{base} --runtime semi-async"));
+        r2.unwrap();
+        let table = |s: &str| {
+            s.lines()
+                .skip_while(|l| !l.contains("round"))
+                .take_while(|l| !l.starts_with("semi-async:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(table(&out1), table(&out2));
+        assert!(out2.contains("semi-async: emulated clock"), "{out2}");
+    }
+
+    #[test]
+    fn simulate_semi_async_writes_report_csv() {
+        let path = std::env::temp_dir().join(format!("gfl_async_{}.csv", std::process::id()));
+        let (r, _) = run_cmd(
+            simulate,
+            &format!(
+                "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+                 --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+                 --runtime semi-async --async-csv {}",
+                path.display()
+            ),
+        );
+        r.unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(csv.starts_with("round,"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "{csv}");
+    }
+
+    #[test]
+    fn simulate_semi_async_checkpoint_carries_scheduler_state() {
+        let path = std::env::temp_dir().join(format!("gfl_async_cp_{}.json", std::process::id()));
+        let (r, _) = run_cmd(
+            simulate,
+            &format!(
+                "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+                 --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+                 --runtime semi-async --checkpoint {}",
+                path.display()
+            ),
+        );
+        r.unwrap();
+        let cp = Checkpoint::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let sched = cp
+            .scheduler
+            .expect("semi-async checkpoint stores the scheduler");
+        assert!(sched.clock_s > 0.0, "emulated clock must have advanced");
+    }
+
+    #[test]
+    fn simulate_rejects_bad_runtime_flags() {
+        for flags in [
+            "--runtime warp",
+            "--runtime semi-async --staleness-policy soggy",
+            "--runtime semi-async --staleness-decay -1",
+            "--runtime semi-async --cloud-deadline -2",
+            "--runtime semi-async --churn moderate",
+            "--async-csv out.csv",
+            "--faults moderate --quorum 1.5",
+            "--faults moderate --deadline-factor -1",
+            "--faults moderate --backoff-base -1",
+            "--faults moderate --max-backoff 0",
+        ] {
+            let (r, _) = run_cmd(
+                simulate,
+                &format!("--clients 8 --edges 2 --samples 900 --min-gs 2 {flags}"),
+            );
+            assert!(
+                matches!(r, Err(CommandError::Invalid(_))),
+                "{flags} should be rejected as invalid"
+            );
         }
     }
 

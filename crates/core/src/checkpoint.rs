@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::engine::GroupFelConfig;
 use crate::history::RunHistory;
 use crate::membership::MembershipState;
+use crate::semi_async::SchedulerState;
 
 /// A resumable training snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -35,6 +36,10 @@ pub struct Checkpoint {
     /// runs. `Option` keeps pre-churn checkpoints (which lack the field)
     /// loadable without a version bump.
     pub membership: Option<MembershipState>,
+    /// Scheduler state of a semi-async run (emulated clock, busy edges,
+    /// parked stale uploads) — `None` for lockstep runs. `Option` keeps
+    /// pre-semi-async checkpoints loadable without a version bump.
+    pub scheduler: Option<SchedulerState>,
 }
 
 /// Current checkpoint format version.
@@ -80,6 +85,7 @@ impl Checkpoint {
             config,
             cost_so_far,
             membership: None,
+            scheduler: None,
         }
     }
 
@@ -87,6 +93,15 @@ impl Checkpoint {
     /// session continues from the healed partition rather than re-forming.
     pub fn with_membership(mut self, membership: MembershipState) -> Self {
         self.membership = Some(membership);
+        self
+    }
+
+    /// Attaches the scheduler state of a semi-async run, so a resumed
+    /// session continues from the same emulated clock, busy-edge map, and
+    /// parked stale uploads — the resume is bit-identical, not merely
+    /// approximate.
+    pub fn with_scheduler(mut self, scheduler: SchedulerState) -> Self {
+        self.scheduler = Some(scheduler);
         self
     }
 
@@ -176,6 +191,42 @@ mod tests {
         assert!(!legacy.contains("membership"), "{legacy}");
         let back = Checkpoint::from_json(&legacy).unwrap();
         assert!(back.membership.is_none());
+    }
+
+    #[test]
+    fn legacy_checkpoint_without_scheduler_field_loads() {
+        // A checkpoint serialized before the semi-async runtime has no
+        // `scheduler` key; it must still parse at the same version.
+        let json = sample().to_json();
+        assert!(json.contains("\"scheduler\""));
+        let legacy = json.replace(",\n  \"scheduler\": null", "");
+        assert!(!legacy.contains("scheduler"), "{legacy}");
+        let back = Checkpoint::from_json(&legacy).unwrap();
+        assert!(back.scheduler.is_none());
+    }
+
+    #[test]
+    fn scheduler_state_roundtrips_exactly() {
+        use crate::semi_async::PendingUpload;
+        let sched = SchedulerState {
+            clock_s: 1_234.562_500_001,
+            busy: vec![(3, 1300.25), (0, 1250.125)],
+            pending: vec![PendingUpload {
+                group: 3,
+                dispatch_round: 7,
+                arrival_s: 1300.25,
+                samples: 42,
+                prob: 0.125,
+                uploads: 9,
+                members: vec![1, 4, 6],
+                params: vec![0.5, -1.25, 3.75],
+            }],
+        };
+        let cp = sample().with_scheduler(sched.clone());
+        let back = Checkpoint::from_json(&cp.to_json()).unwrap();
+        // Exact equality, including every f64: resume bit-identity hangs
+        // on the JSON float round-trip being lossless.
+        assert_eq!(back.scheduler, Some(sched));
     }
 
     #[test]

@@ -146,17 +146,17 @@ pub fn form_groups_per_edge(
 /// The Group-FEL trainer: owns the model, the federated data layout, and
 /// the test set.
 pub struct Trainer {
-    config: GroupFelConfig,
-    model: Network,
-    train: Dataset,
-    partition: ClientPartition,
-    test: Dataset,
-    faults: Option<FaultState>,
+    pub(crate) config: GroupFelConfig,
+    pub(crate) model: Network,
+    pub(crate) train: Dataset,
+    pub(crate) partition: ClientPartition,
+    pub(crate) test: Dataset,
+    pub(crate) faults: Option<FaultState>,
     churn: Option<ChurnState>,
-    adversary: Option<AdversaryState>,
+    pub(crate) adversary: Option<AdversaryState>,
     robust_agg: RobustAggRule,
     scratch: ScratchPool,
-    obs: Option<Arc<TraceCollector>>,
+    pub(crate) obs: Option<Arc<TraceCollector>>,
 }
 
 /// A structurally invalid [`GroupFelConfig`] / data combination, caught by
@@ -192,12 +192,12 @@ impl std::error::Error for ConfigError {}
 /// Fault-injection context of a faulted run: the decision oracle, the
 /// degradation policy, and the models needed to turn decisions into
 /// wall-clock estimates (straggler deadlines, retry accounting).
-struct FaultState {
-    injector: FaultInjector,
-    policy: FaultPolicy,
-    comm: CommModel,
-    cost: CostModel,
-    edge_of_client: Vec<usize>,
+pub(crate) struct FaultState {
+    pub(crate) injector: FaultInjector,
+    pub(crate) policy: FaultPolicy,
+    pub(crate) comm: CommModel,
+    pub(crate) cost: CostModel,
+    pub(crate) edge_of_client: Vec<usize>,
 }
 
 /// Group-level aggregation rule (Line 14). [`RobustAggRule::Mean`] is the
@@ -278,36 +278,56 @@ struct PoisonedShard {
 /// poisoner's pre-built shard, and the held-out attack-success evaluation
 /// sets. All of it derives from the plan seed alone — no engine RNG stream
 /// is consumed, so a clean plan leaves runs bit-identical.
-struct AdversaryState {
-    plan: AdversaryPlan,
+pub(crate) struct AdversaryState {
+    pub(crate) plan: AdversaryPlan,
     shards: HashMap<usize, PoisonedShard>,
     /// Triggered non-target test samples, relabelled to the trigger
     /// target: accuracy on this set *is* the backdoor attack success rate.
-    trigger_eval: Option<Dataset>,
+    pub(crate) trigger_eval: Option<Dataset>,
     /// Test samples of the flip source class, relabelled to the flip
     /// target: accuracy on this set is the label-flip success rate.
-    flip_eval: Option<Dataset>,
+    pub(crate) flip_eval: Option<Dataset>,
 }
 
 /// Result of one group's work within a global round.
-struct GroupOutcome {
+pub(crate) struct GroupOutcome {
     /// Global group index (for fault attribution).
-    group: usize,
-    params: Params,
-    samples: usize,
-    train_loss: Scalar,
-    members: Vec<usize>,
+    pub(crate) group: usize,
+    pub(crate) params: Params,
+    pub(crate) samples: usize,
+    pub(crate) train_loss: Scalar,
+    pub(crate) members: Vec<usize>,
     /// Surviving uploads across all `K` group rounds.
-    uploads: usize,
+    pub(crate) uploads: usize,
     /// Sample-weighted surviving uploads across all `K` group rounds
     /// (out of `K · n_g`); the quorum test's numerator.
-    upload_samples: usize,
+    pub(crate) upload_samples: usize,
     /// Faults that hit this group, in deterministic (k, member) order.
-    events: Vec<FaultEvent>,
+    pub(crate) events: Vec<FaultEvent>,
     /// Attacks injected (and filtered) in this group, same ordering.
-    attacks: Vec<AttackEvent>,
+    pub(crate) attacks: Vec<AttackEvent>,
     /// Measured defense-filter work across the group's `K` group rounds.
-    defense: DefenseCost,
+    pub(crate) defense: DefenseCost,
+}
+
+/// Precomputed time-domain straggler cuts for one group's `K` group
+/// rounds: `by_round[k]` lists `(member_index, slowdown)` pairs whose
+/// reports missed group round `k`'s quorum-or-deadline close. Produced by
+/// the semi-async scheduler's timing pass and applied verbatim inside
+/// `run_unit`, replacing the lockstep path's in-unit deadline estimate.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct GroupCuts {
+    pub(crate) by_round: Vec<Vec<(usize, f64)>>,
+}
+
+impl GroupCuts {
+    fn cut_for(&self, k: usize, member: usize) -> Option<f64> {
+        self.by_round
+            .get(k)?
+            .iter()
+            .find(|&&(m, _)| m == member)
+            .map(|&(_, s)| s)
+    }
 }
 
 /// One client's fixed result slot within a group round. Workers write
@@ -356,6 +376,9 @@ struct Unit<'a> {
     /// The group model this client starts from (`x^g_{t,k}`).
     start: &'a [Scalar],
     deadline: Option<(f64, f64)>,
+    /// Semi-async only: `Some(slowdown)` when the event-driven timing pass
+    /// already decided this client's report missed the group-round close.
+    timed_cut: Option<f64>,
     slot: &'a mut Slot,
 }
 
@@ -448,6 +471,11 @@ impl Trainer {
         policy: FaultPolicy,
         topology: &Topology,
     ) -> Self {
+        plan.validate()
+            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+        policy
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid FaultPolicy: {e}"));
         let mut edge_of_client = vec![0usize; self.partition.indices.len()];
         for j in 0..topology.num_edges() {
             for &c in topology.clients_of(j) {
@@ -888,6 +916,7 @@ impl Trainer {
                             failures,
                             fs.policy.max_retries,
                             fs.policy.backoff_base_s,
+                            fs.policy.max_backoff_s,
                         );
                         round_events.push(FaultEvent::UploadRetry {
                             round: t,
@@ -1288,7 +1317,7 @@ impl Trainer {
     /// *nominal* client's wall-clock estimate (compute per Eq. 5's training
     /// cost, plus both client↔edge transfers). Returns `(deadline_s,
     /// transfer_s)`.
-    fn group_deadline(&self, group: &[usize], param_len: usize) -> Option<(f64, f64)> {
+    pub(crate) fn group_deadline(&self, group: &[usize], param_len: usize) -> Option<(f64, f64)> {
         let fs = self.faults.as_ref()?;
         if fs.policy.deadline_factor <= 0.0 {
             return None;
@@ -1322,6 +1351,26 @@ impl Trainer {
         t: usize,
         lr: Scalar,
     ) -> Vec<GroupOutcome> {
+        self.train_groups_with_cuts(global, groups, strategy, t, lr, None)
+    }
+
+    /// [`Trainer::train_groups`] with optional precomputed time-domain
+    /// straggler cuts (one [`GroupCuts`] per group, aligned with `groups`).
+    /// When cuts are supplied the lockstep in-unit deadline estimate is
+    /// disabled — the semi-async scheduler has already decided, in emulated
+    /// time, exactly which reports missed each group round's close.
+    pub(crate) fn train_groups_with_cuts<S: LocalUpdate>(
+        &self,
+        global: &[Scalar],
+        groups: &[(usize, &[usize])],
+        strategy: &S,
+        t: usize,
+        lr: Scalar,
+        cuts: Option<&[GroupCuts]>,
+    ) -> Vec<GroupOutcome> {
+        if let Some(c) = cuts {
+            assert_eq!(c.len(), groups.len(), "one cut set per group");
+        }
         let cfg = &self.config;
         let mut ctxs: Vec<GroupCtx<'_>> = groups
             .iter()
@@ -1339,7 +1388,11 @@ impl Trainer {
                         loss: None,
                     })
                     .collect(),
-                deadline: self.group_deadline(group, global.len()),
+                deadline: if cuts.is_some() {
+                    None
+                } else {
+                    self.group_deadline(group, global.len())
+                },
                 loss_acc: 0.0,
                 loss_n: 0,
                 uploads: 0,
@@ -1359,7 +1412,8 @@ impl Trainer {
             // ctx into its fields lets each unit hold the group model
             // immutably alongside a mutable borrow of its own slot.
             let mut units: Vec<Unit<'_>> = Vec::with_capacity(total_units);
-            for ctx in ctxs.iter_mut() {
+            for (ci, ctx) in ctxs.iter_mut().enumerate() {
+                let group_cuts = cuts.map(|c| &c[ci]);
                 let GroupCtx {
                     gi,
                     group,
@@ -1369,12 +1423,13 @@ impl Trainer {
                     ..
                 } = ctx;
                 let start: &[Scalar] = group_params.as_slice();
-                for (slot, &client) in slots.iter_mut().zip(group.iter()) {
+                for (mi, (slot, &client)) in slots.iter_mut().zip(group.iter()).enumerate() {
                     units.push(Unit {
                         gi: *gi,
                         client,
                         start,
                         deadline: *deadline,
+                        timed_cut: group_cuts.and_then(|g| g.cut_for(k, mi)),
                         slot,
                     });
                 }
@@ -1599,6 +1654,22 @@ impl Trainer {
                 });
                 return;
             }
+        }
+        // Semi-async: the scheduler's timing pass already placed this
+        // client's report after the group-round close (quorum filled or
+        // deadline fired first). Clean clients can be cut here too — with
+        // `slowdown = 1.0` — when a partial quorum closes the round early.
+        if let Some(slowdown) = unit.timed_cut {
+            slot.event = Some(FaultEvent::StragglerCut {
+                round: t,
+                group_round: k,
+                group: unit.gi,
+                client,
+                slowdown,
+            });
+            return;
+        }
+        if let Some(fs) = fs {
             if let Some((deadline_s, transfer)) = unit.deadline {
                 let slowdown = fs.injector.slowdown(t, k, client);
                 if slowdown > 1.0 {

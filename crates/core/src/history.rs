@@ -27,6 +27,72 @@ pub struct AsrRecord {
     pub flip_asr: Option<Scalar>,
 }
 
+/// One emulated-clock incident of a semi-async run. Only *incidents* are
+/// logged — quorum closes that cut nobody, on-time arrivals, and idle
+/// edges leave no record — so a semi-async run in the degenerate lockstep
+/// limit (full quorum, no deadline, clean plan) produces a history
+/// bit-identical to the synchronous engine's.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TimedEvent {
+    /// A group round closed (quorum filled or deadline fired) with at
+    /// least one member's report still outstanding; the stragglers were
+    /// cut as [`FaultEvent::StragglerCut`]s.
+    GroupRoundClosed {
+        round: usize,
+        group: usize,
+        group_round: usize,
+        /// Absolute emulated close time, seconds.
+        close_s: f64,
+        /// Reports that made the close.
+        reported: usize,
+        /// Members cut at the close.
+        cut: usize,
+    },
+    /// An edge upload reached the cloud after its dispatch round had
+    /// already closed. `admitted` is `true` when the staleness policy
+    /// weighted it into a later round (recorded at that round), `false`
+    /// when drop-stale discarded it (recorded at the dispatch round).
+    StaleArrival {
+        round: usize,
+        group: usize,
+        dispatch_round: usize,
+        /// Absolute emulated arrival time, seconds.
+        arrival_s: f64,
+        admitted: bool,
+    },
+    /// A sampled group sat the round out because its edge was still
+    /// working on (or uploading) an earlier round's result.
+    GroupBusySkipped {
+        round: usize,
+        group: usize,
+        /// Absolute emulated time the edge frees up, seconds.
+        busy_until_s: f64,
+    },
+    /// The cloud's own deadline closed the round before every dispatched
+    /// group had reported back; `late` results became stale arrivals.
+    CloudRoundClosed {
+        round: usize,
+        /// Absolute emulated close time, seconds.
+        close_s: f64,
+        /// Results admitted at the close.
+        admitted: usize,
+        /// Dispatched results still in flight at the close.
+        late: usize,
+    },
+}
+
+impl TimedEvent {
+    /// The global round the event was recorded at.
+    pub fn round(&self) -> usize {
+        match *self {
+            TimedEvent::GroupRoundClosed { round, .. }
+            | TimedEvent::StaleArrival { round, .. }
+            | TimedEvent::GroupBusySkipped { round, .. }
+            | TimedEvent::CloudRoundClosed { round, .. } => round,
+        }
+    }
+}
+
 /// One evaluated point of a training run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundRecord {
@@ -60,6 +126,10 @@ pub struct RunHistory {
     /// Attack-success-rate trajectory, one entry per evaluation round of
     /// an adversarial run. `None` for clean runs.
     asr: Option<Vec<AsrRecord>>,
+    /// Emulated-clock incident log of a semi-async run. `Option` for the
+    /// same legacy-tolerance reason as `regroups`; synchronous runs — and
+    /// semi-async runs in the degenerate lockstep limit — leave it `None`.
+    timed: Option<Vec<TimedEvent>>,
 }
 
 impl RunHistory {
@@ -146,6 +216,29 @@ impl RunHistory {
     /// Attack events of one global round.
     pub fn attacks_in_round(&self, round: usize) -> impl Iterator<Item = &AttackEvent> {
         self.attack_events()
+            .iter()
+            .filter(move |e| e.round() == round)
+    }
+
+    /// Appends a batch of emulated-clock events (one round's worth, in
+    /// order). An empty batch is a no-op, so a semi-async run that never
+    /// cut, skipped, or dropped anything stays equal (`PartialEq`) to a
+    /// synchronous run of the same trajectory.
+    pub fn record_timed(&mut self, events: impl IntoIterator<Item = TimedEvent>) {
+        let mut it = events.into_iter().peekable();
+        if it.peek().is_some() {
+            self.timed.get_or_insert_with(Vec::new).extend(it);
+        }
+    }
+
+    /// The full emulated-clock incident log, in recording order.
+    pub fn timed_events(&self) -> &[TimedEvent] {
+        self.timed.as_deref().unwrap_or(&[])
+    }
+
+    /// Emulated-clock events of one global round.
+    pub fn timed_in_round(&self, round: usize) -> impl Iterator<Item = &TimedEvent> {
+        self.timed_events()
             .iter()
             .filter(move |e| e.round() == round)
     }
@@ -387,6 +480,40 @@ mod tests {
         let back: RunHistory = serde_json::from_str(legacy).unwrap();
         assert!(back.attack_events().is_empty());
         assert!(back.asr_records().is_empty());
+    }
+
+    #[test]
+    fn timed_log_accumulates_and_tolerates_legacy_json() {
+        let mut h = hist();
+        assert!(h.timed_events().is_empty());
+        // An empty batch must not materialize the field: semi-async runs
+        // in the lockstep limit stay equal to synchronous histories.
+        h.record_timed(Vec::new());
+        assert_eq!(h, hist());
+        h.record_timed(vec![
+            TimedEvent::GroupRoundClosed {
+                round: 1,
+                group: 0,
+                group_round: 2,
+                close_s: 14.5,
+                reported: 3,
+                cut: 1,
+            },
+            TimedEvent::StaleArrival {
+                round: 2,
+                group: 1,
+                dispatch_round: 1,
+                arrival_s: 30.0,
+                admitted: true,
+            },
+        ]);
+        assert_eq!(h.timed_events().len(), 2);
+        assert_eq!(h.timed_in_round(2).count(), 1);
+        assert_eq!(h.timed_events()[0].round(), 1);
+        // A pre-semi-async serialized history still loads.
+        let legacy = r#"{"records":[],"faults":[]}"#;
+        let back: RunHistory = serde_json::from_str(legacy).unwrap();
+        assert!(back.timed_events().is_empty());
     }
 
     #[test]

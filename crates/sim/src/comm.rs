@@ -132,7 +132,9 @@ impl CommModel {
     ///
     /// Each attempt pays the full transfer over the edge↔cloud link; after
     /// the i-th failure the sender backs off `backoff_base_s · 2^i` seconds
-    /// before retrying. Lost uploads (every retry failed) thus charge
+    /// before retrying, with every individual wait clamped to
+    /// `max_backoff_s` so pathological fault rates cannot charge unbounded
+    /// emulated time. Lost uploads (every retry failed) thus charge
     /// realistic wall-clock and traffic for nothing — the failure mode a
     /// deployment actually pays for.
     pub fn upload_with_retries(
@@ -141,6 +143,7 @@ impl CommModel {
         failed_attempts: u32,
         max_retries: u32,
         backoff_base_s: f64,
+        max_backoff_s: f64,
     ) -> RetryOutcome {
         let delivered = failed_attempts <= max_retries;
         let failures = failed_attempts.min(max_retries + 1);
@@ -149,7 +152,7 @@ impl CommModel {
         let mut seconds = f64::from(attempts) * transfer;
         // One backoff wait precedes each retry (attempts − 1 of them).
         for i in 0..attempts.saturating_sub(1) {
-            seconds += backoff_base_s * f64::from(1u32 << i.min(16));
+            seconds += (backoff_base_s * f64::from(1u32 << i.min(16))).min(max_backoff_s);
         }
         RetryOutcome {
             attempts,
@@ -252,7 +255,7 @@ mod tests {
     #[test]
     fn retry_free_upload_charges_one_transfer() {
         let m = CommModel::edge_default();
-        let out = m.upload_with_retries(5_000_000, 0, 3, 0.5);
+        let out = m.upload_with_retries(5_000_000, 0, 3, 0.5, 60.0);
         assert_eq!(out.attempts, 1);
         assert!(out.delivered);
         assert_eq!(out.bytes, 5_000_000);
@@ -263,7 +266,7 @@ mod tests {
     fn retries_back_off_exponentially() {
         let m = CommModel::edge_default();
         let transfer = m.edge_cloud.transfer_time(1_000_000);
-        let out = m.upload_with_retries(1_000_000, 2, 3, 0.5);
+        let out = m.upload_with_retries(1_000_000, 2, 3, 0.5, 60.0);
         assert_eq!(out.attempts, 3);
         assert!(out.delivered);
         assert_eq!(out.bytes, 3_000_000);
@@ -274,17 +277,52 @@ mod tests {
     #[test]
     fn exhausted_retries_lose_the_upload_but_charge_for_it() {
         let m = CommModel::edge_default();
-        let out = m.upload_with_retries(1_000_000, 4, 3, 0.5);
+        let out = m.upload_with_retries(1_000_000, 4, 3, 0.5, 60.0);
         assert!(!out.delivered);
         // Initial attempt + 3 retries, all failed; no success transfer.
         assert_eq!(out.attempts, 4);
         assert_eq!(out.bytes, 4_000_000);
         // Same wire activity as a delivery on the final retry — only the
         // outcome of the last attempt differs.
-        let lossless = m.upload_with_retries(1_000_000, 3, 3, 0.5);
+        let lossless = m.upload_with_retries(1_000_000, 3, 3, 0.5, 60.0);
         assert!(lossless.delivered);
         assert_eq!(lossless.attempts, out.attempts);
         assert!((lossless.seconds - out.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_waits_are_capped_at_max_backoff() {
+        let m = CommModel::edge_default();
+        let transfer = m.edge_cloud.transfer_time(1_000_000);
+        // Base 0.5: waits would be 0.5, 1.0, 2.0, 4.0... — cap at 1.5 turns
+        // the 3rd and later waits into exactly 1.5.
+        let out = m.upload_with_retries(1_000_000, 4, 5, 0.5, 1.5);
+        assert_eq!(out.attempts, 5);
+        let expected = 5.0 * transfer + 0.5 + 1.0 + 1.5 + 1.5;
+        assert!((out.seconds - expected).abs() < 1e-9, "{}", out.seconds);
+    }
+
+    #[test]
+    fn high_attempt_counts_charge_bounded_time() {
+        // Regression: before the cap, 40 failed attempts charged
+        // ~2^16 · base seconds of backoff — pathological fault rates could
+        // dominate the entire emulated budget. With the cap, total time is
+        // bounded by attempts · (transfer + max_backoff_s).
+        let m = CommModel::edge_default();
+        let transfer = m.edge_cloud.transfer_time(1_000_000);
+        let max_backoff = 30.0;
+        let out = m.upload_with_retries(1_000_000, 64, 64, 0.5, max_backoff);
+        assert_eq!(out.attempts, 65);
+        let bound = f64::from(out.attempts) * (transfer + max_backoff);
+        assert!(
+            out.seconds <= bound,
+            "charged {} s, cap-implied bound {} s",
+            out.seconds,
+            bound
+        );
+        // And the uncapped shape really would have exceeded it.
+        let uncapped = m.upload_with_retries(1_000_000, 64, 64, 0.5, f64::INFINITY);
+        assert!(uncapped.seconds > bound * 10.0);
     }
 
     #[test]

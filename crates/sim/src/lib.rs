@@ -13,10 +13,12 @@
 
 pub mod comm;
 pub mod cost;
+pub mod event;
 pub mod ledger;
 pub mod topology;
 
 pub use comm::{CommModel, LinkModel, RetryOutcome, StragglerModel};
 pub use cost::{CostModel, GroupOpKind, LinearCost, QuadraticCost, Task};
+pub use event::{EventId, EventQueue, ScheduledEvent};
 pub use ledger::{CostBreakdown, CostLedger};
 pub use topology::{ClientId, EdgeId, Topology};
