@@ -85,6 +85,76 @@ fn build_paper_scale(rounds: usize) -> (Trainer, Vec<Vec<usize>>, Topology) {
     )
 }
 
+/// Deterministic non-zero fill for GEMM operands.
+fn filled(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Single-threaded `gemm_nt` GFLOP/s on a paper-shaped layer (batch 256 ×
+/// 256 outputs × 784 inputs), once per SIMD tier this machine supports.
+/// Returns the per-tier rows plus the detected-best-tier-over-scalar
+/// throughput ratio — the number the SIMD microkernels are accountable to.
+fn gemm_gflops_per_tier() -> (Vec<serde_json::Value>, Option<f64>) {
+    use gfl_tensor::simd;
+    let (m, n, k) = (256usize, 256usize, 784usize);
+    let a = filled(m * k, 1);
+    let b = filled(n * k, 2);
+    let mut out = vec![0.0f32; m * n];
+    let flops = (2 * m * n * k) as f64;
+    let active = simd::active_tier();
+    let mut rows = Vec::new();
+    let mut scalar_gflops = None;
+    let mut active_gflops = None;
+    for tier in simd::supported_tiers() {
+        let prev = simd::set_tier(tier);
+        // Calibrate the iteration count to ~150 ms per rep, then take the
+        // best of three reps to shave scheduler noise.
+        let t0 = Instant::now();
+        simd::gemm_nt(&a, &b, &mut out, m, n, k);
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((0.15 / dt).ceil() as usize).clamp(1, 100_000);
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                simd::gemm_nt(&a, &b, &mut out, m, n, k);
+            }
+            best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+        }
+        std::hint::black_box(&out);
+        simd::set_tier(prev);
+        let gflops = flops / best / 1e9;
+        eprintln!(
+            "gemm_nt 256x256x784 [{:>6}]: {gflops:6.2} GFLOP/s",
+            tier.name()
+        );
+        if tier == simd::SimdTier::Scalar {
+            scalar_gflops = Some(gflops);
+        }
+        if tier == active {
+            active_gflops = Some(gflops);
+        }
+        rows.push(serde_json::json!({
+            "tier": tier.name(),
+            "gemm_gflops": gflops,
+            "seconds_per_gemm": best,
+        }));
+    }
+    let ratio = match (scalar_gflops, active_gflops) {
+        (Some(s), Some(a)) if s > 0.0 => Some(a / s),
+        _ => None,
+    };
+    (rows, ratio)
+}
+
 /// Runs the same workload through the event-driven scheduler under a
 /// straggler plan (a quarter of the fleet slowed 8×) and returns the
 /// final emulated clock — wait-for-all vs quorum-or-deadline
@@ -146,16 +216,22 @@ fn main() {
         let pool = gfl_parallel::stats::snapshot().since(pool_start);
         assert_eq!(h, reference, "thread count changed the result");
         let per_round = secs / rounds as f64;
+        // A timing row is only an honest scaling datum when the machine
+        // actually has a core per worker thread.
+        let reliable = cores >= threads;
         eprintln!(
-            "threads={threads:2}  {:7.3} s/round  {:9.4} rounds/s  {:8} allocs/round  pool util {:5.1}%  steals {}",
+            "threads={threads:2}  {:7.3} s/round  {:9.4} rounds/s  {:8} allocs/round  pool util {:5.1}%  steals {}{}",
             per_round,
             1.0 / per_round,
             allocs / rounds as u64,
             pool.utilization() * 100.0,
-            pool.steals
+            pool.steals,
+            if reliable { "" } else { "  [unreliable: threads > cores]" }
         );
         results.push(serde_json::json!({
             "threads": threads,
+            "cores": cores,
+            "reliable": reliable,
             "seconds_per_round": per_round,
             "rounds_per_sec": 1.0 / per_round,
             "allocs_per_round": allocs / rounds as u64,
@@ -192,13 +268,40 @@ fn main() {
     );
     gfl_parallel::set_default_parallelism(0);
 
+    // SIMD microkernel throughput, per dispatch tier, single-threaded.
+    let (simd_tiers, simd_speedup) = gemm_gflops_per_tier();
+
+    // Honest scaling summary: the 8-vs-1 speedup is only reported when the
+    // 8-thread row was measured with 8 real cores behind it.
+    let speedup_8_vs_1 = (cores >= 8).then(|| per_rounds[0] / per_rounds[3]);
+    if speedup_8_vs_1.is_none() {
+        eprintln!(
+            "warning: only {cores} core(s) available; rows with threads > cores are \
+             oversubscribed and no 8-vs-1 thread-scaling speedup is reported"
+        );
+    }
+
     let report = serde_json::json!({
         "workload": "paper_vision-shaped: 60 clients / 3 edges, K=5, E=2, 12 sampled groups, batch 32, vision model",
         "param_count": param_count,
         "rounds_measured": rounds,
         "cores": cores,
         "results": results,
-        "speedup_8_vs_1_threads": per_rounds[0] / per_rounds[3],
+        "speedup_8_vs_1_threads": speedup_8_vs_1,
+        "speedup_warning": if speedup_8_vs_1.is_none() {
+            Some(format!(
+                "machine has {cores} core(s); speedup_8_vs_1_threads requires >= 8 \
+                 (rows with reliable=false are oversubscribed)"
+            ))
+        } else {
+            None
+        },
+        "simd": serde_json::json!({
+            "workload": "gemm_nt 256x256x784 f32, single thread",
+            "active_tier": gfl_tensor::simd::active_tier().name(),
+            "tiers": simd_tiers,
+            "speedup_vs_scalar": simd_speedup,
+        }),
         "emulated_clock": serde_json::json!({
             "plan": "straggler_fraction 0.25, straggler_factor 8.0, jitter 0.25 (docs/ASYNC.md)",
             "sync_clock_s_per_round": clock_sync / rounds as f64,

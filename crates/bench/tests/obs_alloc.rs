@@ -69,6 +69,61 @@ fn allocs_of(f: impl FnOnce()) -> u64 {
     ALLOCS.load(Ordering::Relaxed) - before
 }
 
+/// Hard per-round allocation budget for the warm engine.
+///
+/// After a warm-up leg has seeded every pool (local-training scratch,
+/// group parameter/slot/member buffers, evaluation workspaces), a
+/// steady-state round of `run_resumable` — including its per-round
+/// evaluation at `eval_every = 1` — must stay within this many heap
+/// allocations. The residue is small unavoidable per-round state
+/// (sampling draws, the round's context/outcome vectors, per-group-round
+/// unit queues); anything that scales with model size or group membership
+/// must come from a pool and trips this gate if it regresses.
+const ROUND_ALLOC_BUDGET: u64 = 64;
+
+#[test]
+fn steady_state_rounds_fit_the_alloc_budget() {
+    gfl_parallel::set_default_parallelism(1);
+    let (trainer, groups) = tiny_world();
+    let probs = vec![1.0 / groups.len() as f32; groups.len()];
+    let mut params = trainer.model().init_params(&mut gfl_tensor::init::rng(5));
+    let mut ledger = trainer.ledger_for(&FedAvg);
+    let mut history = gfl_core::history::RunHistory::default();
+
+    // Warm-up rounds size every pool; they are excluded from the count.
+    trainer.run_resumable(
+        &groups,
+        &FedAvg,
+        &probs,
+        &mut params,
+        &mut ledger,
+        &mut history,
+        0,
+        3,
+    );
+
+    const MEASURED: u64 = 8;
+    let allocs = allocs_of(|| {
+        trainer.run_resumable(
+            &groups,
+            &FedAvg,
+            &probs,
+            &mut params,
+            &mut ledger,
+            &mut history,
+            3,
+            MEASURED as usize,
+        );
+    });
+    let per_round = allocs / MEASURED;
+    assert!(
+        per_round <= ROUND_ALLOC_BUDGET,
+        "steady-state rounds allocate too much: {per_round} allocs/round \
+         ({allocs} over {MEASURED} rounds), budget {ROUND_ALLOC_BUDGET}"
+    );
+    gfl_parallel::set_default_parallelism(0);
+}
+
 #[test]
 fn disabled_tracing_adds_no_allocations_to_the_hot_loop() {
     // Single-threaded so the worker pool does not allocate on its own

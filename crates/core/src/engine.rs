@@ -38,10 +38,10 @@ use std::sync::Arc;
 use crate::cov::group_cov;
 use crate::grouping::{GroupingAlgorithm, PartitionError};
 use crate::history::{AsrRecord, RoundRecord, RunHistory};
-use crate::local::{LocalScratch, LocalTask, LocalUpdate, ScratchPool};
+use crate::local::{BufPool, LocalScratch, LocalTask, LocalUpdate, ScratchPool};
 use crate::membership::{MembershipState, RegroupPolicy};
 use crate::sampling::{
-    aggregation_weights, sample_without_replacement, AggregationWeighting, SamplingStrategy,
+    aggregation_weights_into, sample_without_replacement, AggregationWeighting, SamplingStrategy,
 };
 use crate::Group;
 
@@ -156,6 +156,15 @@ pub struct Trainer {
     pub(crate) adversary: Option<AdversaryState>,
     robust_agg: RobustAggRule,
     scratch: ScratchPool,
+    /// Parameter-length `Vec<Scalar>` buffers (group models, slot bufs,
+    /// Line-15 weight/probability scratch), recycled across rounds.
+    param_pool: BufPool<Scalar>,
+    /// `Vec<usize>` buffers (outcome member lists, ledger size scratch).
+    member_pool: BufPool<usize>,
+    /// Per-group slot-shell `Vec<Slot>` buffers.
+    slot_pool: BufPool<Slot>,
+    /// Evaluation workspaces for the per-round test/ASR evaluations.
+    eval_pool: gfl_nn::EvalPool,
     pub(crate) obs: Option<Arc<TraceCollector>>,
 }
 
@@ -443,6 +452,10 @@ impl Trainer {
             adversary: None,
             robust_agg: RobustAggRule::Mean,
             scratch: ScratchPool::new(),
+            param_pool: BufPool::new(),
+            member_pool: BufPool::new(),
+            slot_pool: BufPool::new(),
+            eval_pool: gfl_nn::EvalPool::new(),
             obs: None,
         })
     }
@@ -657,10 +670,16 @@ impl Trainer {
         group.iter().map(|&c| self.partition.indices[c].len()).sum()
     }
 
-    /// Evaluates parameters on the held-out test set.
+    /// Evaluates parameters on the held-out test set. Uses pooled
+    /// evaluation workspaces — bit-identical to [`Network::evaluate`],
+    /// allocation-free once the pool is warm.
     pub fn evaluate(&self, params: &[Scalar]) -> gfl_nn::mlp::EvalResult {
-        self.model
-            .evaluate(params, self.test.features(), self.test.labels())
+        self.model.evaluate_pooled(
+            params,
+            self.test.features(),
+            self.test.labels(),
+            &self.eval_pool,
+        )
     }
 
     /// Builds the cost ledger for a strategy (its op mix and train factor).
@@ -762,6 +781,7 @@ impl Trainer {
     ) {
         assert_eq!(groups.len(), probs.len(), "one probability per group");
         assert!(!groups.is_empty(), "need at least one group");
+        history.reserve_rounds(rounds.div_ceil(self.config.eval_every) + 1);
         for t in start_round..start_round + rounds {
             let last = t + 1 == start_round + rounds;
             let report = self.round_once(t, groups, strategy, probs, params, ledger, history, last);
@@ -853,13 +873,12 @@ impl Trainer {
             });
             let mut comm_ns = 0u64;
 
-            // Charge Eq. 5 for every group that attempted the round.
+            // Charge Eq. 5 for every group that attempted the round. One
+            // pooled size buffer serves every group (and Line 15 below).
+            let mut sizes = self.member_pool.take();
             for o in &outcomes {
-                let sizes: Vec<usize> = o
-                    .members
-                    .iter()
-                    .map(|&c| self.partition.indices[c].len())
-                    .collect();
+                sizes.clear();
+                sizes.extend(o.members.iter().map(|&c| self.partition.indices[c].len()));
                 ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
             }
             // Measured defense-filter work (FLAME-style cosine clustering)
@@ -954,13 +973,28 @@ impl Trainer {
             if included.iter().all(|o| o.uploads == 0) {
                 round_events.push(FaultEvent::RoundHeld { round: t });
             } else {
-                let sizes: Vec<usize> = included.iter().map(|o| o.samples).collect();
-                let sampled_probs: Vec<Scalar> = included.iter().map(|o| probs[o.group]).collect();
-                let weights =
-                    aggregation_weights(cfg.weighting, &sizes, &sampled_probs, total_samples);
-                let views: Vec<&[Scalar]> = included.iter().map(|o| o.params.as_slice()).collect();
-                ops::weighted_sum_into(&views, &weights, params);
+                sizes.clear();
+                sizes.extend(included.iter().map(|o| o.samples));
+                let mut sampled_probs = self.param_pool.take();
+                sampled_probs.extend(included.iter().map(|o| probs[o.group]));
+                let mut weights = self.param_pool.take();
+                aggregation_weights_into(
+                    cfg.weighting,
+                    &sizes,
+                    &sampled_probs,
+                    total_samples,
+                    &mut weights,
+                );
+                // The exact fill-then-axpy loop of `ops::weighted_sum_into`,
+                // inlined over `included` so no view vector is built.
+                params.fill(0.0);
+                for (o, &w) in included.iter().zip(weights.iter()) {
+                    ops::axpy(w, &o.params, params);
+                }
+                self.param_pool.put(sampled_probs);
+                self.param_pool.put(weights);
             }
+            self.member_pool.put(sizes);
 
             let participants: Vec<usize> = included
                 .iter()
@@ -1007,7 +1041,7 @@ impl Trainer {
                 if let Some(adv) = &self.adversary {
                     let rate = |d: &Dataset| {
                         self.model
-                            .evaluate(params, d.features(), d.labels())
+                            .evaluate_pooled(params, d.features(), d.labels(), &self.eval_pool)
                             .accuracy
                     };
                     let r = AsrRecord {
@@ -1101,6 +1135,13 @@ impl Trainer {
                 m.histogram("round.eval_ms", buckets).observe(ms(eval_ns));
             }
 
+            // Hand the round's parameter and member buffers back to the
+            // pools so the next round's groups start from warm capacity.
+            for o in outcomes {
+                self.param_pool.put(o.params);
+                self.member_pool.put(o.members);
+            }
+
             RoundReport {
                 over_budget,
                 sampled,
@@ -1185,6 +1226,7 @@ impl Trainer {
         let labels = &self.partition.label_matrix;
         let plan = self.churn.as_ref().map(|c| &c.plan);
         let obs = self.obs.as_deref();
+        history.reserve_rounds(rounds.div_ceil(self.config.eval_every) + 1);
         for t in start_round..start_round + rounds {
             let regroup_start = obs.map(|ob| ob.now_ns());
             let mut events = Vec::new();
@@ -1377,17 +1419,24 @@ impl Trainer {
             .map(|&(gi, group)| GroupCtx {
                 gi,
                 group,
-                group_params: global.to_vec(),
-                slots: group
-                    .iter()
-                    .map(|_| Slot {
-                        buf: Params::new(),
+                // Pooled: the group model and every slot buffer come back
+                // with warm parameter-length capacity after round one.
+                group_params: {
+                    let mut gp = self.param_pool.take();
+                    gp.extend_from_slice(global);
+                    gp
+                },
+                slots: {
+                    let mut slots = self.slot_pool.take();
+                    slots.extend(group.iter().map(|_| Slot {
+                        buf: self.param_pool.take(),
                         live: false,
                         event: None,
                         attack: None,
                         loss: None,
-                    })
-                    .collect(),
+                    }));
+                    slots
+                },
                 deadline: if cuts.is_some() {
                     None
                 } else {
@@ -1491,14 +1540,14 @@ impl Trainer {
                 if n_surv == 0 {
                     continue; // every client dropped: group model unchanged
                 }
-                let weights: Vec<Scalar> = ctx
-                    .group
-                    .iter()
-                    .zip(ctx.slots.iter())
-                    .filter(|(_, s)| s.live)
-                    .map(|(&c, _)| self.partition.indices[c].len() as Scalar / n_surv as Scalar)
-                    .collect();
                 if cfg.secure_aggregation {
+                    let weights: Vec<Scalar> = ctx
+                        .group
+                        .iter()
+                        .zip(ctx.slots.iter())
+                        .filter(|(_, s)| s.live)
+                        .map(|(&c, _)| self.partition.indices[c].len() as Scalar / n_surv as Scalar)
+                        .collect();
                     self.secure_group_aggregate(
                         ctx.group,
                         &ctx.slots,
@@ -1520,13 +1569,20 @@ impl Trainer {
                         .collect();
                     ctx.group_params = robust_aggregate(self.robust_agg, &survivors);
                 } else {
-                    let views: Vec<&[Scalar]> = ctx
-                        .slots
+                    // The exact fill-then-axpy loop of
+                    // `ops::weighted_sum_into` over the live slots in
+                    // member order — bit-identical, without building the
+                    // per-(group, k) weight and view vectors.
+                    ctx.group_params.fill(0.0);
+                    for (&c, s) in ctx
+                        .group
                         .iter()
-                        .filter(|s| s.live)
-                        .map(|s| s.buf.as_slice())
-                        .collect();
-                    ops::weighted_sum_into(&views, &weights, &mut ctx.group_params);
+                        .zip(ctx.slots.iter())
+                        .filter(|(_, s)| s.live)
+                    {
+                        let w = self.partition.indices[c].len() as Scalar / n_surv as Scalar;
+                        ops::axpy(w, &s.buf, &mut ctx.group_params);
+                    }
                 }
             }
 
@@ -1540,17 +1596,29 @@ impl Trainer {
         }
 
         ctxs.into_iter()
-            .map(|ctx| GroupOutcome {
-                group: ctx.gi,
-                params: ctx.group_params,
-                samples: ctx.n_g,
-                train_loss: ctx.loss_acc / ctx.loss_n.max(1) as Scalar,
-                members: ctx.group.to_vec(),
-                uploads: ctx.uploads,
-                upload_samples: ctx.upload_samples,
-                events: ctx.events,
-                attacks: ctx.attacks,
-                defense: ctx.defense,
+            .map(|ctx| {
+                // Slot buffers and shells go straight back to the pools;
+                // the group model travels on inside the outcome and is
+                // recycled by `round_once` once aggregation is done.
+                let mut slots = ctx.slots;
+                for s in slots.drain(..) {
+                    self.param_pool.put(s.buf);
+                }
+                self.slot_pool.put(slots);
+                let mut members = self.member_pool.take();
+                members.extend_from_slice(ctx.group);
+                GroupOutcome {
+                    group: ctx.gi,
+                    params: ctx.group_params,
+                    samples: ctx.n_g,
+                    train_loss: ctx.loss_acc / ctx.loss_n.max(1) as Scalar,
+                    members,
+                    uploads: ctx.uploads,
+                    upload_samples: ctx.upload_samples,
+                    events: ctx.events,
+                    attacks: ctx.attacks,
+                    defense: ctx.defense,
+                }
             })
             .collect()
     }

@@ -137,6 +137,13 @@ impl RunHistory {
         self.records.push(r);
     }
 
+    /// Pre-reserves capacity for `n` upcoming round records so a run's
+    /// steady-state rounds never pay an amortized regrow inside
+    /// `round_once` (the alloc-budget gate counts those).
+    pub fn reserve_rounds(&mut self, n: usize) {
+        self.records.reserve(n);
+    }
+
     pub fn records(&self) -> &[RoundRecord] {
         &self.records
     }

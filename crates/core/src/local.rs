@@ -117,6 +117,49 @@ impl Drop for ScratchGuard<'_> {
     }
 }
 
+/// A pool of reusable `Vec<T>` buffers.
+///
+/// The steady-state companion to [`ScratchPool`]: per-round buffers whose
+/// sizes repeat across rounds (group parameter vectors, member lists, slot
+/// shells) are checked out with [`BufPool::take`] and handed back with
+/// [`BufPool::put`] once the round is done, so after warm-up the engine
+/// reuses capacity instead of reallocating it.
+pub(crate) struct BufPool<T> {
+    pool: std::sync::Mutex<Vec<Vec<T>>>,
+}
+
+impl<T> BufPool<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            pool: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Checks out an empty buffer, retaining the capacity it grew in
+    /// earlier rounds. Allocates a fresh (zero-capacity) `Vec` only when
+    /// the pool is dry.
+    pub(crate) fn take(&self) -> Vec<T> {
+        let mut buf = self
+            .pool
+            .lock()
+            .expect("buffer pool poisoned")
+            .pop()
+            .unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Returns a buffer to the pool. Contents are discarded on the next
+    /// [`BufPool::take`]; capacity is what the pool preserves.
+    pub(crate) fn put(&self, buf: Vec<T>) {
+        // A poisoned lock means a worker panicked mid-round; dropping the
+        // buffer is strictly better than double-panicking here.
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.push(buf);
+        }
+    }
+}
+
 /// A local-update strategy (FedAvg/FedProx/SCAFFOLD/...).
 pub trait LocalUpdate: Send + Sync {
     /// Name used in experiment reports.

@@ -146,41 +146,61 @@ pub fn aggregation_weights(
     probs: &[Scalar],
     total_samples: usize,
 ) -> Vec<Scalar> {
+    let mut out = Vec::new();
+    aggregation_weights_into(weighting, group_sizes, probs, total_samples, &mut out);
+    out
+}
+
+/// [`aggregation_weights`] into a caller-provided buffer — the trainer's
+/// steady-state path, which reuses one pooled `Vec` across rounds instead
+/// of allocating a weight vector per round. `out` is cleared first; the
+/// arithmetic (and hence every f32 result) is identical to the allocating
+/// form.
+pub fn aggregation_weights_into(
+    weighting: AggregationWeighting,
+    group_sizes: &[usize],
+    probs: &[Scalar],
+    total_samples: usize,
+    out: &mut Vec<Scalar>,
+) {
     assert_eq!(group_sizes.len(), probs.len());
+    out.clear();
     let s = group_sizes.len();
     if s == 0 {
-        return Vec::new();
+        return;
     }
     match weighting {
         AggregationWeighting::Standard => {
             let n_t: usize = group_sizes.iter().sum();
-            group_sizes
-                .iter()
-                .map(|&n_g| n_g as Scalar / n_t.max(1) as Scalar)
-                .collect()
+            out.extend(
+                group_sizes
+                    .iter()
+                    .map(|&n_g| n_g as Scalar / n_t.max(1) as Scalar),
+            );
         }
-        AggregationWeighting::Unbiased => group_sizes
-            .iter()
-            .zip(probs.iter())
-            .map(|(&n_g, &p_g)| {
+        AggregationWeighting::Unbiased => {
+            out.extend(group_sizes.iter().zip(probs.iter()).map(|(&n_g, &p_g)| {
                 let denom = (p_g as f64) * s as f64 * total_samples.max(1) as f64;
                 (n_g as f64 / denom.max(f64::MIN_POSITIVE)) as Scalar
-            })
-            .collect(),
+            }));
+        }
         AggregationWeighting::Stabilized => {
-            let raw = aggregation_weights(
+            aggregation_weights_into(
                 AggregationWeighting::Unbiased,
                 group_sizes,
                 probs,
                 total_samples,
+                out,
             );
-            let total: f64 = raw.iter().map(|&w| f64::from(w)).sum();
+            let total: f64 = out.iter().map(|&w| f64::from(w)).sum();
             if total <= 0.0 || !total.is_finite() {
-                return vec![1.0 / s as Scalar; s];
+                out.clear();
+                out.resize(s, 1.0 / s as Scalar);
+                return;
             }
-            raw.iter()
-                .map(|&w| (f64::from(w) / total) as Scalar)
-                .collect()
+            for w in out.iter_mut() {
+                *w = (f64::from(*w) / total) as Scalar;
+            }
         }
     }
 }

@@ -279,6 +279,48 @@ fn attacked_secure_aggregation_run_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn simd_tiers_are_bit_identical_across_thread_counts() {
+    // Every SIMD dispatch tier this machine supports (scalar, SSE2, AVX2,
+    // AVX-512F, NEON — whatever is present) implements the same canonical
+    // 16-chain summation order, so forcing any tier must reproduce the
+    // scalar run bit-for-bit, at every thread count. This is the whole-run
+    // version of the kernel-level cross-tier tests in `gfl-tensor`, and
+    // the in-process equivalent of running the suite under `GFL_SIMD=off`
+    // vs `GFL_SIMD=auto` (which CI also does).
+    let (cfg, model, part, _topo, groups, train, test) = world(38);
+    let run = || {
+        let t = Trainer::new(
+            cfg.clone(),
+            model.clone(),
+            train.clone(),
+            part.clone(),
+            test.clone(),
+        );
+        t.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov)
+    };
+    let _guard = THREAD_PIN.lock().unwrap_or_else(|e| e.into_inner());
+    let mut baseline: Option<(RunHistory, Vec<f32>)> = None;
+    for tier in gfl_tensor::simd::supported_tiers() {
+        let prev = gfl_tensor::simd::set_tier(tier);
+        for &threads in &THREAD_COUNTS {
+            gfl_parallel::set_default_parallelism(threads);
+            let result = run();
+            match &baseline {
+                None => baseline = Some(result),
+                Some(b) => assert_eq!(
+                    *b,
+                    result,
+                    "run diverged on tier {} at {threads} threads",
+                    tier.name()
+                ),
+            }
+        }
+        gfl_tensor::simd::set_tier(prev);
+    }
+    gfl_parallel::set_default_parallelism(0);
+}
+
+#[test]
 fn secure_aggregation_run_is_bit_identical_across_thread_counts() {
     // The pairwise-masking protocol's mask generation is keyed by (seed,
     // t, k) and member ids only — never by scheduling — so the secure path

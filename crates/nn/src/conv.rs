@@ -396,19 +396,7 @@ impl Cnn1d {
                 self.prepare(&mut ws);
                 (ws, vec![0.0; self.classes])
             },
-            |(ws, probs), &(s, e)| {
-                let mut loss = 0.0f32;
-                let mut correct = 0usize;
-                for (r, &label) in labels.iter().enumerate().take(e).skip(s) {
-                    self.forward_sample(params, features.row(r), ws);
-                    probs.copy_from_slice(&ws.logits);
-                    let pred = ops::argmax(probs);
-                    ops::softmax(probs);
-                    loss += ops::cross_entropy(probs, label);
-                    correct += usize::from(pred == label);
-                }
-                (loss, correct)
-            },
+            |(ws, probs), &(s, e)| self.eval_chunk(params, features, labels, s, e, ws, probs),
         );
         let (loss, correct) = partials
             .into_iter()
@@ -418,6 +406,35 @@ impl Cnn1d {
             accuracy: correct as Scalar / n as Scalar,
             examples: n,
         }
+    }
+
+    /// Loss sum and correct count over rows `s..e` — the shared inner loop
+    /// of [`Cnn1d::evaluate`] and the pooled
+    /// [`crate::network::Network::evaluate_pooled`] path. Re-`prepare`s the
+    /// workspace, which is free once it is sized (resize is a no-op).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_chunk(
+        &self,
+        params: &[Scalar],
+        features: &Matrix,
+        labels: &[usize],
+        s: usize,
+        e: usize,
+        ws: &mut CnnWorkspace,
+        probs: &mut [Scalar],
+    ) -> (Scalar, usize) {
+        self.prepare(ws);
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        for (r, &label) in labels.iter().enumerate().take(e).skip(s) {
+            self.forward_sample(params, features.row(r), ws);
+            probs.copy_from_slice(&ws.logits);
+            let pred = ops::argmax(probs);
+            ops::softmax(probs);
+            loss += ops::cross_entropy(probs, label);
+            correct += usize::from(pred == label);
+        }
+        (loss, correct)
     }
 }
 

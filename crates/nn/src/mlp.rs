@@ -76,20 +76,18 @@ impl Mlp {
             .sum()
     }
 
-    /// Splits flat params into per-layer `(weights, bias)` slices.
-    fn layers<'a>(&self, params: &'a [Scalar]) -> Vec<(&'a [Scalar], &'a [Scalar])> {
-        assert_eq!(params.len(), self.param_len(), "param length mismatch");
-        let mut out = Vec::with_capacity(self.num_layers());
-        let mut off = 0;
-        for l in 0..self.num_layers() {
-            let (o, i) = (self.dims[l + 1], self.dims[l]);
-            let w = &params[off..off + o * i];
-            off += o * i;
-            let b = &params[off..off + o];
-            off += o;
-            out.push((w, b));
-        }
-        out
+    /// Layer `l`'s `(weights, bias)` slices of the flat params.
+    ///
+    /// Computed from offsets on the fly — no per-call allocation, which
+    /// matters because backprop asks for a layer per hidden level on every
+    /// minibatch (this used to be the dominant steady-state alloc site).
+    fn layer<'a>(&self, params: &'a [Scalar], l: usize) -> (&'a [Scalar], &'a [Scalar]) {
+        let (o, i) = (self.dims[l + 1], self.dims[l]);
+        let off = self.layer_offset(l);
+        (
+            &params[off..off + o * i],
+            &params[off + o * i..off + o * i + o],
+        )
     }
 
     /// He-initialized parameters (biases zero), deterministic in the RNG.
@@ -129,10 +127,14 @@ impl Mlp {
         assert_eq!(x.cols(), self.input_dim(), "input dim mismatch");
         let batch = x.rows();
         self.prepare_workspace(ws, batch);
+        assert_eq!(params.len(), self.param_len(), "param length mismatch");
         ws.acts[0].as_mut_slice()[..batch * self.dims[0]].copy_from_slice(x.as_slice());
-        let layers = self.layers(params);
-        for (l, &(w, b)) in layers.iter().enumerate() {
+        let mut off = 0;
+        for l in 0..self.num_layers() {
             let (o, i) = (self.dims[l + 1], self.dims[l]);
+            let w = &params[off..off + o * i];
+            let b = &params[off + o * i..off + o * i + o];
+            off += o * i + o;
             // acts[l+1] = acts[l] · Wᵀ + b  (+ relu except last layer)
             let (before, after) = ws.acts.split_at_mut(l + 1);
             let input = &before[l].as_slice()[..batch * i];
@@ -211,10 +213,7 @@ impl Mlp {
 
             // Δ_l = (Δ_{l+1} · W_l) ⊙ relu'(A_l), skipped for the input.
             if l > 0 {
-                let w = {
-                    let layers = self.layers(params);
-                    layers[l].0
-                };
+                let w = self.layer(params, l).0;
                 let wview = MatrixRef::new(o, i, w);
                 let (lower, upper) = ws.deltas.split_at_mut(l);
                 let next_delta = &upper[0];
@@ -273,20 +272,7 @@ impl Mlp {
         let partials = gfl_parallel::par_map_init(
             &ranges,
             || (self.workspace(), vec![0.0f32; self.num_classes()]),
-            |(ws, probs), &(s, e)| {
-                self.forward_into(params, features.view_rows(s, e), ws);
-                let logits = ws.acts.last().unwrap();
-                let mut loss = 0.0f32;
-                let mut correct = 0usize;
-                for (r, &label) in labels[s..e].iter().enumerate() {
-                    probs.copy_from_slice(logits.row(r));
-                    let pred = ops::argmax(probs);
-                    ops::softmax(probs);
-                    loss += ops::cross_entropy(probs, label);
-                    correct += usize::from(pred == label);
-                }
-                (loss, correct)
-            },
+            |(ws, probs), &(s, e)| self.eval_chunk(params, features, labels, s, e, ws, probs),
         );
         let (loss_sum, correct) = partials
             .into_iter()
@@ -296,6 +282,34 @@ impl Mlp {
             accuracy: correct as Scalar / n as Scalar,
             examples: n,
         }
+    }
+
+    /// Loss sum and correct count over rows `s..e` — the shared inner loop
+    /// of [`Mlp::evaluate`] and the pooled
+    /// [`crate::network::Network::evaluate_pooled`] path.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn eval_chunk(
+        &self,
+        params: &[Scalar],
+        features: &Matrix,
+        labels: &[usize],
+        s: usize,
+        e: usize,
+        ws: &mut Workspace,
+        probs: &mut [Scalar],
+    ) -> (Scalar, usize) {
+        self.forward_into(params, features.view_rows(s, e), ws);
+        let logits = ws.acts.last().unwrap();
+        let mut loss = 0.0f32;
+        let mut correct = 0usize;
+        for (r, &label) in labels[s..e].iter().enumerate() {
+            probs.copy_from_slice(logits.row(r));
+            let pred = ops::argmax(probs);
+            ops::softmax(probs);
+            loss += ops::cross_entropy(probs, label);
+            correct += usize::from(pred == label);
+        }
+        (loss, correct)
     }
 }
 

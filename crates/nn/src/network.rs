@@ -7,6 +7,8 @@
 //! SecAgg masking, SCAFFOLD variates, and defenses are oblivious to which
 //! architecture is inside.
 
+use std::sync::Mutex;
+
 use gfl_tensor::{Matrix, Scalar};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -121,6 +123,115 @@ impl Network {
             Network::Cnn(c) => c.evaluate(params, features, labels),
         }
     }
+
+    /// [`Network::evaluate`] with workspaces checked out of `pool` instead
+    /// of allocated per call — the steady-state path for the trainer's
+    /// per-round evaluation. Chunking and fold order are identical to
+    /// `evaluate`, so the f32 result is bit-identical.
+    pub fn evaluate_pooled(
+        &self,
+        params: &[Scalar],
+        features: &Matrix,
+        labels: &[usize],
+        pool: &EvalPool,
+    ) -> EvalResult {
+        assert_eq!(features.rows(), labels.len());
+        let n = labels.len();
+        if n == 0 {
+            return EvalResult {
+                loss: 0.0,
+                accuracy: 0.0,
+                examples: 0,
+            };
+        }
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(crate::EVAL_CHUNK)
+            .map(|s| (s, (s + crate::EVAL_CHUNK).min(n)))
+            .collect();
+        let partials = gfl_parallel::par_map_init(
+            &ranges,
+            || pool.acquire(self),
+            |guard, &(s, e)| {
+                let (ws, probs) = guard.parts();
+                match (self, ws) {
+                    (Network::Mlp(m), NetworkWorkspace::Mlp(w)) => {
+                        m.eval_chunk(params, features, labels, s, e, w, probs)
+                    }
+                    (Network::Cnn(c), NetworkWorkspace::Cnn(w)) => {
+                        c.eval_chunk(params, features, labels, s, e, w, probs)
+                    }
+                    _ => panic!("eval pool does not match network variant"),
+                }
+            },
+        );
+        let (loss_sum, correct) = partials
+            .into_iter()
+            .fold((0.0f32, 0usize), |(l, c), (pl, pc)| (l + pl, c + pc));
+        EvalResult {
+            loss: loss_sum / n as Scalar,
+            accuracy: correct as Scalar / n as Scalar,
+            examples: n,
+        }
+    }
+}
+
+/// Pool of evaluation scratch — a [`NetworkWorkspace`] plus a probability
+/// buffer per worker. Buffers are checked out by
+/// [`Network::evaluate_pooled`] and returned on guard drop, so repeated
+/// evaluations stop allocating once every worker has been seeded.
+#[derive(Debug, Default)]
+pub struct EvalPool {
+    pool: Mutex<Vec<(NetworkWorkspace, Vec<Scalar>)>>,
+}
+
+impl EvalPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn acquire(&self, net: &Network) -> EvalScratchGuard<'_> {
+        let item = self
+            .pool
+            .lock()
+            .expect("eval pool poisoned")
+            .pop()
+            .unwrap_or_else(|| (net.workspace(), vec![0.0; net.num_classes()]));
+        EvalScratchGuard {
+            pool: self,
+            item: Some(item),
+        }
+    }
+}
+
+/// RAII checkout from an [`EvalPool`]; returns the scratch on drop.
+struct EvalScratchGuard<'p> {
+    pool: &'p EvalPool,
+    item: Option<(NetworkWorkspace, Vec<Scalar>)>,
+}
+
+impl EvalScratchGuard<'_> {
+    fn parts(&mut self) -> (&mut NetworkWorkspace, &mut [Scalar]) {
+        let (ws, probs) = self.item.as_mut().expect("guard holds scratch");
+        (ws, probs.as_mut_slice())
+    }
+}
+
+impl Drop for EvalScratchGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(item) = self.item.take() {
+            self.pool.lock_put(item);
+        }
+    }
+}
+
+impl EvalPool {
+    fn lock_put(&self, item: (NetworkWorkspace, Vec<Scalar>)) {
+        // Poisoned on a panicking eval worker — drop the scratch instead
+        // of double-panicking in a Drop impl.
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.push(item);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +266,33 @@ mod tests {
         assert!(loss.is_finite());
         let eval = net.evaluate(&p, &features, &[0, 2]);
         assert_eq!(eval.examples, 2);
+    }
+
+    #[test]
+    fn pooled_evaluate_matches_unpooled_bitwise() {
+        for net in [
+            Network::from(Mlp::new(vec![6, 10, 4])),
+            Network::from(Cnn1d::new(8, 2, 2, 3, 3, 4)),
+        ] {
+            let p = net.init_params(&mut rng(7));
+            let rows = 300; // several EVAL_CHUNK-sized chunks worth
+            let dim = net.input_dim();
+            let features = Matrix::from_fn(rows, dim, |r, c| ((r * dim + c) % 17) as f32 * 0.1);
+            let labels: Vec<usize> = (0..rows).map(|i| i % net.num_classes()).collect();
+            let want = net.evaluate(&p, &features, &labels);
+            let pool = EvalPool::new();
+            // Twice through the pool: first seeds the scratch, second reuses it.
+            for pass in 0..2 {
+                let got = net.evaluate_pooled(&p, &features, &labels, &pool);
+                assert_eq!(got.loss.to_bits(), want.loss.to_bits(), "pass {pass}");
+                assert_eq!(
+                    got.accuracy.to_bits(),
+                    want.accuracy.to_bits(),
+                    "pass {pass}"
+                );
+                assert_eq!(got.examples, want.examples, "pass {pass}");
+            }
+        }
     }
 
     #[test]

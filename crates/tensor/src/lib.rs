@@ -8,7 +8,11 @@
 //! * [`Matrix`]: row-major `f32` matrix with blocked GEMM, GEMV, and
 //!   transpose-aware products.
 //! * [`ops`]: BLAS-1 style kernels over plain slices (axpy, dot, scale,
-//!   norms, softmax) written to autovectorize.
+//!   norms, softmax).
+//! * [`simd`]: explicit `std::arch` microkernels behind the four hot ops
+//!   (dot/axpy/gemm_nt/gemm_tn), runtime-dispatched across AVX-512F /
+//!   AVX2 / SSE2 / NEON / scalar tiers — all bit-identical, `GFL_SIMD`
+//!   override.
 //! * [`init`]: seeded He/Xavier/uniform initializers on top of ChaCha8, so
 //!   every experiment in the paper reproduction is bit-deterministic given
 //!   its seed.
@@ -22,6 +26,7 @@
 pub mod init;
 pub mod matrix;
 pub mod ops;
+pub mod simd;
 pub mod stats;
 
 pub use matrix::{Matrix, MatrixRef};

@@ -3,20 +3,24 @@
 //! These are the innermost loops of local SGD: parameter updates are axpy,
 //! FedProx's proximal term is axpy against the anchor, SCAFFOLD's control
 //! variates are two more axpys, and secure-aggregation masking is a slice
-//! add. All kernels are branch-free over the body and written so LLVM
-//! autovectorizes them; none allocates.
+//! add. None allocates. The four kernels that carry the training FLOPs —
+//! [`dot`], [`axpy`], [`gemm_nt`], [`gemm_tn`] — dispatch to explicit
+//! SIMD implementations in [`crate::simd`] (AVX-512F/AVX2/SSE2/NEON,
+//! runtime-detected, `GFL_SIMD` override); every tier is bit-identical to
+//! the scalar reference by construction.
 
 use crate::Scalar;
 
 /// `y += alpha * x` (the classic axpy).
 ///
+/// Element-wise (one multiply rounding and one add rounding per element),
+/// so the SIMD tiers are trivially bit-identical.
+///
 /// # Panics
 /// Panics if the slices differ in length.
 pub fn axpy(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    crate::simd::axpy(alpha, x, y);
 }
 
 /// `y = alpha * x + beta * y`.
@@ -27,24 +31,16 @@ pub fn axpby(alpha: Scalar, x: &[Scalar], beta: Scalar, y: &mut [Scalar]) {
     }
 }
 
-/// Dot product.
+/// Dot product in the canonical 16-chain summation order.
+///
+/// The order is fixed so every SIMD dispatch tier can reproduce it
+/// exactly: 16 independent stride-16 partial accumulators (chain `j` sums
+/// `x[16c+j] * y[16c+j]` over ascending `c`), combined left-to-right from
+/// `0.0`, then the remainder elements in ascending order. See
+/// [`crate::simd`] for the bit-identity argument.
 pub fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    // Four partial sums help LLVM keep independent accumulator chains.
-    let mut acc = [0.0f32; 4];
-    let chunks = x.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        acc[0] += x[i] * y[i];
-        acc[1] += x[i + 1] * y[i + 1];
-        acc[2] += x[i + 2] * y[i + 2];
-        acc[3] += x[i + 3] * y[i + 3];
-    }
-    let mut tail = 0.0;
-    for i in chunks * 4..x.len() {
-        tail += x[i] * y[i];
-    }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    crate::simd::dot(x, y)
 }
 
 /// Scales every element: `x *= alpha`.
@@ -193,54 +189,22 @@ pub const GEMM_TILE: usize = 32;
 ///
 /// Tiles the `i`/`j` loops so a block of `b` rows stays cache-resident while
 /// a block of `a` rows streams against it. Each output element is still one
-/// full-`k` [`dot`], so results are bit-identical to the untiled kernel.
+/// full-`k` [`dot`] in the canonical order, so results are bit-identical
+/// across tilings and SIMD dispatch tiers.
 pub fn gemm_nt(a: &[Scalar], b: &[Scalar], out: &mut [Scalar], m: usize, n: usize, k: usize) {
-    assert_eq!(a.len(), m * k, "gemm_nt: lhs size");
-    assert_eq!(b.len(), n * k, "gemm_nt: rhs size");
-    assert_eq!(out.len(), m * n, "gemm_nt: out size");
-    for ib in (0..m).step_by(GEMM_TILE) {
-        let ie = (ib + GEMM_TILE).min(m);
-        for jb in (0..n).step_by(GEMM_TILE) {
-            let je = (jb + GEMM_TILE).min(n);
-            for i in ib..ie {
-                let ai = &a[i * k..(i + 1) * k];
-                let oi = &mut out[i * n..(i + 1) * n];
-                for j in jb..je {
-                    oi[j] = dot(ai, &b[j * k..(j + 1) * k]);
-                }
-            }
-        }
-    }
+    crate::simd::gemm_nt(a, b, out, m, n, k);
 }
 
 /// Blocked `out = Aᵀ · B` over row-major slices: `a` is `r×m`, `b` is `r×n`,
 /// `out` is `m×n`, and `out[i][j] = Σ_t a[t][i] * b[t][j]`.
 ///
-/// This is the `∇W = ∇Yᵀ · X` backward kernel. Implemented as rank-1 [`axpy`]
-/// updates with the output tiled by rows, so each `GEMM_TILE×n` output block
-/// stays cache-resident across the whole `t` sweep. The `t` loop stays
-/// ascending for every output element, so accumulation order (and hence the
-/// f32 result) is independent of the tiling.
+/// This is the `∇W = ∇Yᵀ · X` backward kernel. Each output element
+/// accumulates `a[t][i] * b[t][j]` over strictly ascending `t`, skipping
+/// terms where `a[t][i] == 0.0` (the ReLU zero-skip — an exact no-op to
+/// skip in f32). The accumulation order per element is fixed, so results
+/// are bit-identical across blockings and SIMD dispatch tiers.
 pub fn gemm_tn(a: &[Scalar], b: &[Scalar], out: &mut [Scalar], r: usize, m: usize, n: usize) {
-    assert_eq!(a.len(), r * m, "gemm_tn: lhs size");
-    assert_eq!(b.len(), r * n, "gemm_tn: rhs size");
-    assert_eq!(out.len(), m * n, "gemm_tn: out size");
-    out.fill(0.0);
-    for ib in (0..m).step_by(GEMM_TILE) {
-        let ie = (ib + GEMM_TILE).min(m);
-        for t in 0..r {
-            let at = &a[t * m..(t + 1) * m];
-            let bt = &b[t * n..(t + 1) * n];
-            for i in ib..ie {
-                let av = at[i];
-                // Zero-skip: ReLU deltas are sparse, and skipping preserves
-                // the sum exactly (adding 0·bt is an exact no-op in f32).
-                if av != 0.0 {
-                    axpy(av, bt, &mut out[i * n..(i + 1) * n]);
-                }
-            }
-        }
-    }
+    crate::simd::gemm_tn(a, b, out, r, m, n);
 }
 
 #[cfg(test)]

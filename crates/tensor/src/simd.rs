@@ -1,0 +1,1329 @@
+//! Runtime-dispatched SIMD microkernels for the dense hot path.
+//!
+//! Four kernels carry essentially all training FLOPs: [`dot`], [`axpy`],
+//! [`gemm_nt`] (forward `A·Bᵀ`) and [`gemm_tn`] (backward `Aᵀ·B`). This
+//! module provides explicit `std::arch` implementations of each at every
+//! dispatch tier the build can target — AVX-512F / AVX2 / SSE2 on x86-64,
+//! NEON on aarch64 — plus a portable scalar reference, selected once at
+//! runtime from CPU feature detection.
+//!
+//! # Bit-identity contract
+//!
+//! f32 addition is not associative, so "vectorize the loop" normally
+//! changes results. Instead, every tier implements the *same* summation
+//! DAG, defined by the scalar reference:
+//!
+//! - **dot**: 16 independent partial accumulators; chain `j` sums
+//!   `x[16c+j] * y[16c+j]` over ascending `c`; the chains are then combined
+//!   strictly left-to-right starting from `0.0`, followed by the remainder
+//!   elements in ascending order. A 512-bit lane *is* one chain; 256-bit
+//!   tiers run two vector accumulators, 128-bit tiers four, and the scalar
+//!   tier a 16-element array. All tiers spill to the same `[f32; 16]`
+//!   buffer and reduce it sequentially, so every tier produces the same
+//!   bits.
+//! - **axpy**: element-wise `y[i] + alpha * x[i]` — one multiply rounding
+//!   and one add rounding per element in every tier, so lanes are trivially
+//!   bit-identical.
+//! - **gemm_nt**: each output element is one full-`k` [`dot`] in the
+//!   canonical order; register-blocking over output columns only changes
+//!   *which* outputs are in flight, never the per-element order.
+//! - **gemm_tn**: each output element accumulates `a[t][i] * b[t][j]` over
+//!   strictly ascending `t`, skipping terms where `a[t][i] == 0.0` (the
+//!   ReLU zero-skip — an exact no-op to skip). Vector tiers keep a column
+//!   block of the output row in registers across the `t` sweep; the
+//!   per-element add sequence is unchanged.
+//!
+//! **No FMA, anywhere.** A fused multiply-add rounds once where
+//! mul-then-add rounds twice, so using FMA in any tier would break
+//! cross-tier bit-identity. The AVX2 tier therefore requires only `avx2`
+//! (not `fma`), and the AVX-512 tier only `avx512f`.
+//!
+//! # Dispatch
+//!
+//! The active tier is a process-wide atomic, initialized lazily from the
+//! `GFL_SIMD` environment variable: `auto` (or unset) picks the best
+//! supported tier, `off`/`scalar` forces the scalar reference, and a tier
+//! name (`sse2`, `avx2`, `avx512`, `neon`) forces that tier (panicking if
+//! the CPU lacks it). [`set_tier`] switches tiers at runtime — the
+//! determinism suite uses it to prove `GFL_SIMD=off` vs `auto` equality
+//! in-process, and the bench harness uses it to measure per-tier GFLOP/s.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::Scalar;
+
+/// One SIMD dispatch tier. Ordering is by capability: later tiers are
+/// wider. Every tier computes bit-identical results (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum SimdTier {
+    /// Portable scalar reference (the canonical summation order).
+    Scalar = 0,
+    /// 128-bit `std::arch` kernels (x86-64 baseline).
+    Sse2 = 1,
+    /// 128-bit NEON kernels (aarch64 baseline).
+    Neon = 2,
+    /// 256-bit AVX2 kernels (no FMA — see module docs).
+    Avx2 = 3,
+    /// 512-bit AVX-512F kernels (one zmm lane per accumulator chain).
+    Avx512 = 4,
+}
+
+impl SimdTier {
+    /// Stable lower-case name, matching the `GFL_SIMD` syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Neon => "neon",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Avx512 => "avx512",
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdTier {
+        match v {
+            1 => SimdTier::Sse2,
+            2 => SimdTier::Neon,
+            3 => SimdTier::Avx2,
+            4 => SimdTier::Avx512,
+            _ => SimdTier::Scalar,
+        }
+    }
+}
+
+/// Tiers usable on this CPU, ascending (always starts with `Scalar`).
+pub fn supported_tiers() -> Vec<SimdTier> {
+    let mut tiers = vec![SimdTier::Scalar];
+    #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+    {
+        if is_x86_feature_detected!("sse2") {
+            tiers.push(SimdTier::Sse2);
+        }
+        if is_x86_feature_detected!("avx2") {
+            tiers.push(SimdTier::Avx2);
+        }
+        if is_x86_feature_detected!("avx512f") {
+            tiers.push(SimdTier::Avx512);
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            tiers.push(SimdTier::Neon);
+        }
+    }
+    tiers
+}
+
+/// The widest tier this CPU supports.
+pub fn detect_best() -> SimdTier {
+    *supported_tiers().last().expect("scalar always supported")
+}
+
+const TIER_UNINIT: u8 = u8::MAX;
+static ACTIVE_TIER: AtomicU8 = AtomicU8::new(TIER_UNINIT);
+
+fn tier_from_env() -> SimdTier {
+    match std::env::var("GFL_SIMD") {
+        Err(_) => detect_best(),
+        Ok(v) => match v.as_str() {
+            "" | "auto" => detect_best(),
+            "off" | "scalar" => SimdTier::Scalar,
+            name => {
+                let tier = supported_tiers()
+                    .into_iter()
+                    .find(|t| t.name() == name)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "GFL_SIMD={name}: unknown or unsupported tier on this CPU \
+                             (supported: auto, off{})",
+                            supported_tiers()
+                                .iter()
+                                .map(|t| format!(", {}", t.name()))
+                                .collect::<String>()
+                        )
+                    });
+                tier
+            }
+        },
+    }
+}
+
+/// The tier the kernels currently dispatch to.
+///
+/// Initialized on first use from `GFL_SIMD` (see module docs); later
+/// changed only through [`set_tier`].
+pub fn active_tier() -> SimdTier {
+    let v = ACTIVE_TIER.load(Ordering::Relaxed);
+    if v != TIER_UNINIT {
+        return SimdTier::from_u8(v);
+    }
+    let tier = tier_from_env();
+    ACTIVE_TIER.store(tier as u8, Ordering::Relaxed);
+    tier
+}
+
+/// Forces the dispatch tier at runtime, returning the previous tier.
+///
+/// # Panics
+/// Panics if this CPU does not support `tier`. Results are bit-identical
+/// across tiers, so switching mid-run changes timing only — still, callers
+/// that compare tiers (tests, benches) should serialize around this.
+pub fn set_tier(tier: SimdTier) -> SimdTier {
+    assert!(
+        supported_tiers().contains(&tier),
+        "SIMD tier {} not supported on this CPU",
+        tier.name()
+    );
+    let prev = active_tier();
+    ACTIVE_TIER.store(tier as u8, Ordering::Relaxed);
+    prev
+}
+
+/// Dispatched dot product in the canonical 16-chain order.
+pub fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    match active_tier() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Sse2 => unsafe { x86::dot_sse2(x, y) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx2 => unsafe { x86::dot_avx2(x, y) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx512 => unsafe { x86::dot_avx512(x, y) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { neon::dot_neon(x, y) },
+        _ => scalar::dot(x, y),
+    }
+}
+
+/// Dispatched `y += alpha * x`.
+pub fn axpy(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match active_tier() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Sse2 => unsafe { x86::axpy_sse2(alpha, x, y) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx2 => unsafe { x86::axpy_avx2(alpha, x, y) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx512 => unsafe { x86::axpy_avx512(alpha, x, y) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { neon::axpy_neon(alpha, x, y) },
+        _ => scalar::axpy(alpha, x, y),
+    }
+}
+
+/// Dispatched `out = A · Bᵀ` (see [`crate::ops::gemm_nt`] for shapes).
+pub fn gemm_nt(a: &[Scalar], b: &[Scalar], out: &mut [Scalar], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k, "gemm_nt: lhs size");
+    assert_eq!(b.len(), n * k, "gemm_nt: rhs size");
+    assert_eq!(out.len(), m * n, "gemm_nt: out size");
+    match active_tier() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Sse2 => unsafe { x86::gemm_nt_sse2(a, b, out, m, n, k) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx2 => unsafe { x86::gemm_nt_avx2(a, b, out, m, n, k) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx512 => unsafe { x86::gemm_nt_avx512(a, b, out, m, n, k) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { neon::gemm_nt_neon(a, b, out, m, n, k) },
+        _ => scalar::gemm_nt(a, b, out, m, n, k),
+    }
+}
+
+/// Dispatched `out = Aᵀ · B` (see [`crate::ops::gemm_tn`] for shapes).
+pub fn gemm_tn(a: &[Scalar], b: &[Scalar], out: &mut [Scalar], r: usize, m: usize, n: usize) {
+    assert_eq!(a.len(), r * m, "gemm_tn: lhs size");
+    assert_eq!(b.len(), r * n, "gemm_tn: rhs size");
+    assert_eq!(out.len(), m * n, "gemm_tn: out size");
+    match active_tier() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Sse2 => unsafe { x86::gemm_tn_sse2(a, b, out, r, m, n) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx2 => unsafe { x86::gemm_tn_avx2(a, b, out, r, m, n) },
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        SimdTier::Avx512 => unsafe { x86::gemm_tn_avx512(a, b, out, r, m, n) },
+        #[cfg(target_arch = "aarch64")]
+        SimdTier::Neon => unsafe { neon::gemm_tn_neon(a, b, out, r, m, n) },
+        _ => scalar::gemm_tn(a, b, out, r, m, n),
+    }
+}
+
+/// Portable reference kernels defining the canonical summation order.
+pub(crate) mod scalar {
+    use crate::ops::GEMM_TILE;
+    use crate::Scalar;
+
+    /// Canonical dot: 16 stride-16 accumulator chains, reduced
+    /// left-to-right from `0.0`, then the ascending remainder.
+    pub(crate) fn dot(x: &[Scalar], y: &[Scalar]) -> Scalar {
+        let mut acc = [0.0f32; 16];
+        for (cx, cy) in x.chunks_exact(16).zip(y.chunks_exact(16)) {
+            for ((a, &xv), &yv) in acc.iter_mut().zip(cx).zip(cy) {
+                *a += xv * yv;
+            }
+        }
+        let mut sum = 0.0;
+        for &a in &acc {
+            sum += a;
+        }
+        let done = (x.len() / 16) * 16;
+        for (&xv, &yv) in x[done..].iter().zip(&y[done..]) {
+            sum += xv * yv;
+        }
+        sum
+    }
+
+    pub(crate) fn axpy(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+            *yi += alpha * xi;
+        }
+    }
+
+    pub(crate) fn gemm_nt(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        for ib in (0..m).step_by(GEMM_TILE) {
+            let ie = (ib + GEMM_TILE).min(m);
+            for jb in (0..n).step_by(GEMM_TILE) {
+                let je = (jb + GEMM_TILE).min(n);
+                for i in ib..ie {
+                    let ai = &a[i * k..(i + 1) * k];
+                    let oi = &mut out[i * n..(i + 1) * n];
+                    for j in jb..je {
+                        oi[j] = dot(ai, &b[j * k..(j + 1) * k]);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn gemm_tn(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        r: usize,
+        m: usize,
+        n: usize,
+    ) {
+        out.fill(0.0);
+        for ib in (0..m).step_by(GEMM_TILE) {
+            let ie = (ib + GEMM_TILE).min(m);
+            for t in 0..r {
+                let at = &a[t * m..(t + 1) * m];
+                let bt = &b[t * n..(t + 1) * n];
+                for i in ib..ie {
+                    let av = at[i];
+                    // Zero-skip: ReLU deltas are sparse, and skipping
+                    // preserves the sum exactly (adding 0·bt is an exact
+                    // no-op in f32).
+                    if av != 0.0 {
+                        axpy(av, bt, &mut out[i * n..(i + 1) * n]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86 {
+    //! x86 kernels. All are `unsafe` because of `#[target_feature]`; the
+    //! dispatcher only calls them after runtime feature detection, and
+    //! slice lengths are validated by the dispatcher's asserts.
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    #[cfg(target_arch = "x86")]
+    use core::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use core::arch::x86_64::*;
+
+    use crate::ops::GEMM_TILE;
+    use crate::Scalar;
+
+    /// Sequential reduction of the 16 spilled accumulator chains plus the
+    /// ascending remainder — shared by every x86 tier so the combine order
+    /// is written exactly once.
+    #[inline(always)]
+    unsafe fn finish_dot(
+        buf: &[f32; 16],
+        x: *const f32,
+        y: *const f32,
+        done: usize,
+        len: usize,
+    ) -> f32 {
+        let mut sum = 0.0f32;
+        for &v in buf {
+            sum += v;
+        }
+        for i in done..len {
+            sum += *x.add(i) * *y.add(i);
+        }
+        sum
+    }
+
+    // ---------------------------------------------------------------- SSE2
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot_sse2_raw(x: *const f32, y: *const f32, len: usize) -> f32 {
+        let chunks = len / 16;
+        let mut acc0 = _mm_setzero_ps();
+        let mut acc1 = _mm_setzero_ps();
+        let mut acc2 = _mm_setzero_ps();
+        let mut acc3 = _mm_setzero_ps();
+        for c in 0..chunks {
+            let i = c * 16;
+            acc0 = _mm_add_ps(
+                acc0,
+                _mm_mul_ps(_mm_loadu_ps(x.add(i)), _mm_loadu_ps(y.add(i))),
+            );
+            acc1 = _mm_add_ps(
+                acc1,
+                _mm_mul_ps(_mm_loadu_ps(x.add(i + 4)), _mm_loadu_ps(y.add(i + 4))),
+            );
+            acc2 = _mm_add_ps(
+                acc2,
+                _mm_mul_ps(_mm_loadu_ps(x.add(i + 8)), _mm_loadu_ps(y.add(i + 8))),
+            );
+            acc3 = _mm_add_ps(
+                acc3,
+                _mm_mul_ps(_mm_loadu_ps(x.add(i + 12)), _mm_loadu_ps(y.add(i + 12))),
+            );
+        }
+        let mut buf = [0.0f32; 16];
+        _mm_storeu_ps(buf.as_mut_ptr(), acc0);
+        _mm_storeu_ps(buf.as_mut_ptr().add(4), acc1);
+        _mm_storeu_ps(buf.as_mut_ptr().add(8), acc2);
+        _mm_storeu_ps(buf.as_mut_ptr().add(12), acc3);
+        finish_dot(&buf, x, y, chunks * 16, len)
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn dot_sse2(x: &[Scalar], y: &[Scalar]) -> Scalar {
+        dot_sse2_raw(x.as_ptr(), y.as_ptr(), x.len())
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn axpy_sse2(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        let len = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm_set1_ps(alpha);
+        let wide = (len / 16) * 16;
+        let mut i = 0;
+        while i < wide {
+            for q in 0..4 {
+                let o = i + q * 4;
+                let yv = _mm_add_ps(
+                    _mm_loadu_ps(yp.add(o)),
+                    _mm_mul_ps(av, _mm_loadu_ps(xp.add(o))),
+                );
+                _mm_storeu_ps(yp.add(o), yv);
+            }
+            i += 16;
+        }
+        while i < len {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn gemm_nt_sse2(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let chunks = k / 16;
+        for ib in (0..m).step_by(GEMM_TILE) {
+            let ie = (ib + GEMM_TILE).min(m);
+            for jb in (0..n).step_by(GEMM_TILE) {
+                let je = (jb + GEMM_TILE).min(n);
+                for i in ib..ie {
+                    let ar = a.as_ptr().add(i * k);
+                    let orow = out.as_mut_ptr().add(i * n);
+                    let mut j = jb;
+                    // Two outputs at a time: 8 in-flight accumulator
+                    // vectors hide add latency while the `a` row loads are
+                    // shared between both columns.
+                    while j + 2 <= je {
+                        let b0 = b.as_ptr().add(j * k);
+                        let b1 = b.as_ptr().add((j + 1) * k);
+                        let mut p00 = _mm_setzero_ps();
+                        let mut p01 = _mm_setzero_ps();
+                        let mut p02 = _mm_setzero_ps();
+                        let mut p03 = _mm_setzero_ps();
+                        let mut p10 = _mm_setzero_ps();
+                        let mut p11 = _mm_setzero_ps();
+                        let mut p12 = _mm_setzero_ps();
+                        let mut p13 = _mm_setzero_ps();
+                        for c in 0..chunks {
+                            let i0 = c * 16;
+                            let x0 = _mm_loadu_ps(ar.add(i0));
+                            let x1 = _mm_loadu_ps(ar.add(i0 + 4));
+                            let x2 = _mm_loadu_ps(ar.add(i0 + 8));
+                            let x3 = _mm_loadu_ps(ar.add(i0 + 12));
+                            p00 = _mm_add_ps(p00, _mm_mul_ps(x0, _mm_loadu_ps(b0.add(i0))));
+                            p01 = _mm_add_ps(p01, _mm_mul_ps(x1, _mm_loadu_ps(b0.add(i0 + 4))));
+                            p02 = _mm_add_ps(p02, _mm_mul_ps(x2, _mm_loadu_ps(b0.add(i0 + 8))));
+                            p03 = _mm_add_ps(p03, _mm_mul_ps(x3, _mm_loadu_ps(b0.add(i0 + 12))));
+                            p10 = _mm_add_ps(p10, _mm_mul_ps(x0, _mm_loadu_ps(b1.add(i0))));
+                            p11 = _mm_add_ps(p11, _mm_mul_ps(x1, _mm_loadu_ps(b1.add(i0 + 4))));
+                            p12 = _mm_add_ps(p12, _mm_mul_ps(x2, _mm_loadu_ps(b1.add(i0 + 8))));
+                            p13 = _mm_add_ps(p13, _mm_mul_ps(x3, _mm_loadu_ps(b1.add(i0 + 12))));
+                        }
+                        let mut buf = [0.0f32; 16];
+                        _mm_storeu_ps(buf.as_mut_ptr(), p00);
+                        _mm_storeu_ps(buf.as_mut_ptr().add(4), p01);
+                        _mm_storeu_ps(buf.as_mut_ptr().add(8), p02);
+                        _mm_storeu_ps(buf.as_mut_ptr().add(12), p03);
+                        *orow.add(j) = finish_dot(&buf, ar, b0, chunks * 16, k);
+                        _mm_storeu_ps(buf.as_mut_ptr(), p10);
+                        _mm_storeu_ps(buf.as_mut_ptr().add(4), p11);
+                        _mm_storeu_ps(buf.as_mut_ptr().add(8), p12);
+                        _mm_storeu_ps(buf.as_mut_ptr().add(12), p13);
+                        *orow.add(j + 1) = finish_dot(&buf, ar, b1, chunks * 16, k);
+                        j += 2;
+                    }
+                    while j < je {
+                        *orow.add(j) = dot_sse2_raw(ar, b.as_ptr().add(j * k), k);
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn gemm_tn_sse2(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        r: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let orow = out.as_mut_ptr().add(i * n);
+            let mut j = 0;
+            // A 16-column block of the output row lives in registers for
+            // the whole ascending-`t` sweep; each term is added exactly
+            // when the scalar kernel would add it (zero terms skipped).
+            while j + 16 <= n {
+                let mut s0 = _mm_setzero_ps();
+                let mut s1 = _mm_setzero_ps();
+                let mut s2 = _mm_setzero_ps();
+                let mut s3 = _mm_setzero_ps();
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        let avv = _mm_set1_ps(av);
+                        let bt = bp.add(t * n + j);
+                        s0 = _mm_add_ps(s0, _mm_mul_ps(avv, _mm_loadu_ps(bt)));
+                        s1 = _mm_add_ps(s1, _mm_mul_ps(avv, _mm_loadu_ps(bt.add(4))));
+                        s2 = _mm_add_ps(s2, _mm_mul_ps(avv, _mm_loadu_ps(bt.add(8))));
+                        s3 = _mm_add_ps(s3, _mm_mul_ps(avv, _mm_loadu_ps(bt.add(12))));
+                    }
+                }
+                _mm_storeu_ps(orow.add(j), s0);
+                _mm_storeu_ps(orow.add(j + 4), s1);
+                _mm_storeu_ps(orow.add(j + 8), s2);
+                _mm_storeu_ps(orow.add(j + 12), s3);
+                j += 16;
+            }
+            while j < n {
+                let mut s = 0.0f32;
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        s += av * *bp.add(t * n + j);
+                    }
+                }
+                *orow.add(j) = s;
+                j += 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------- AVX2
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot_avx2_raw(x: *const f32, y: *const f32, len: usize) -> f32 {
+        let chunks = len / 16;
+        let mut lo = _mm256_setzero_ps();
+        let mut hi = _mm256_setzero_ps();
+        for c in 0..chunks {
+            let i = c * 16;
+            lo = _mm256_add_ps(
+                lo,
+                _mm256_mul_ps(_mm256_loadu_ps(x.add(i)), _mm256_loadu_ps(y.add(i))),
+            );
+            hi = _mm256_add_ps(
+                hi,
+                _mm256_mul_ps(_mm256_loadu_ps(x.add(i + 8)), _mm256_loadu_ps(y.add(i + 8))),
+            );
+        }
+        let mut buf = [0.0f32; 16];
+        _mm256_storeu_ps(buf.as_mut_ptr(), lo);
+        _mm256_storeu_ps(buf.as_mut_ptr().add(8), hi);
+        finish_dot(&buf, x, y, chunks * 16, len)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_avx2(x: &[Scalar], y: &[Scalar]) -> Scalar {
+        dot_avx2_raw(x.as_ptr(), y.as_ptr(), x.len())
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn axpy_avx2(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        let len = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm256_set1_ps(alpha);
+        let wide = (len / 16) * 16;
+        let mut i = 0;
+        while i < wide {
+            let y0 = _mm256_add_ps(
+                _mm256_loadu_ps(yp.add(i)),
+                _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i))),
+            );
+            let y1 = _mm256_add_ps(
+                _mm256_loadu_ps(yp.add(i + 8)),
+                _mm256_mul_ps(av, _mm256_loadu_ps(xp.add(i + 8))),
+            );
+            _mm256_storeu_ps(yp.add(i), y0);
+            _mm256_storeu_ps(yp.add(i + 8), y1);
+            i += 16;
+        }
+        while i < len {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_nt_avx2(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let chunks = k / 16;
+        for ib in (0..m).step_by(GEMM_TILE) {
+            let ie = (ib + GEMM_TILE).min(m);
+            for jb in (0..n).step_by(GEMM_TILE) {
+                let je = (jb + GEMM_TILE).min(n);
+                for i in ib..ie {
+                    let ar = a.as_ptr().add(i * k);
+                    let orow = out.as_mut_ptr().add(i * n);
+                    let mut j = jb;
+                    // Four outputs at a time: 8 in-flight ymm accumulators,
+                    // `a` row loads shared across all four columns.
+                    while j + 4 <= je {
+                        let b0 = b.as_ptr().add(j * k);
+                        let b1 = b.as_ptr().add((j + 1) * k);
+                        let b2 = b.as_ptr().add((j + 2) * k);
+                        let b3 = b.as_ptr().add((j + 3) * k);
+                        let mut p0l = _mm256_setzero_ps();
+                        let mut p0h = _mm256_setzero_ps();
+                        let mut p1l = _mm256_setzero_ps();
+                        let mut p1h = _mm256_setzero_ps();
+                        let mut p2l = _mm256_setzero_ps();
+                        let mut p2h = _mm256_setzero_ps();
+                        let mut p3l = _mm256_setzero_ps();
+                        let mut p3h = _mm256_setzero_ps();
+                        for c in 0..chunks {
+                            let i0 = c * 16;
+                            let xl = _mm256_loadu_ps(ar.add(i0));
+                            let xh = _mm256_loadu_ps(ar.add(i0 + 8));
+                            p0l =
+                                _mm256_add_ps(p0l, _mm256_mul_ps(xl, _mm256_loadu_ps(b0.add(i0))));
+                            p0h = _mm256_add_ps(
+                                p0h,
+                                _mm256_mul_ps(xh, _mm256_loadu_ps(b0.add(i0 + 8))),
+                            );
+                            p1l =
+                                _mm256_add_ps(p1l, _mm256_mul_ps(xl, _mm256_loadu_ps(b1.add(i0))));
+                            p1h = _mm256_add_ps(
+                                p1h,
+                                _mm256_mul_ps(xh, _mm256_loadu_ps(b1.add(i0 + 8))),
+                            );
+                            p2l =
+                                _mm256_add_ps(p2l, _mm256_mul_ps(xl, _mm256_loadu_ps(b2.add(i0))));
+                            p2h = _mm256_add_ps(
+                                p2h,
+                                _mm256_mul_ps(xh, _mm256_loadu_ps(b2.add(i0 + 8))),
+                            );
+                            p3l =
+                                _mm256_add_ps(p3l, _mm256_mul_ps(xl, _mm256_loadu_ps(b3.add(i0))));
+                            p3h = _mm256_add_ps(
+                                p3h,
+                                _mm256_mul_ps(xh, _mm256_loadu_ps(b3.add(i0 + 8))),
+                            );
+                        }
+                        let done = chunks * 16;
+                        let mut buf = [0.0f32; 16];
+                        _mm256_storeu_ps(buf.as_mut_ptr(), p0l);
+                        _mm256_storeu_ps(buf.as_mut_ptr().add(8), p0h);
+                        *orow.add(j) = finish_dot(&buf, ar, b0, done, k);
+                        _mm256_storeu_ps(buf.as_mut_ptr(), p1l);
+                        _mm256_storeu_ps(buf.as_mut_ptr().add(8), p1h);
+                        *orow.add(j + 1) = finish_dot(&buf, ar, b1, done, k);
+                        _mm256_storeu_ps(buf.as_mut_ptr(), p2l);
+                        _mm256_storeu_ps(buf.as_mut_ptr().add(8), p2h);
+                        *orow.add(j + 2) = finish_dot(&buf, ar, b2, done, k);
+                        _mm256_storeu_ps(buf.as_mut_ptr(), p3l);
+                        _mm256_storeu_ps(buf.as_mut_ptr().add(8), p3h);
+                        *orow.add(j + 3) = finish_dot(&buf, ar, b3, done, k);
+                        j += 4;
+                    }
+                    while j < je {
+                        *orow.add(j) = dot_avx2_raw(ar, b.as_ptr().add(j * k), k);
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_tn_avx2(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        r: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let orow = out.as_mut_ptr().add(i * n);
+            let mut j = 0;
+            while j + 32 <= n {
+                let mut s0 = _mm256_setzero_ps();
+                let mut s1 = _mm256_setzero_ps();
+                let mut s2 = _mm256_setzero_ps();
+                let mut s3 = _mm256_setzero_ps();
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        let avv = _mm256_set1_ps(av);
+                        let bt = bp.add(t * n + j);
+                        s0 = _mm256_add_ps(s0, _mm256_mul_ps(avv, _mm256_loadu_ps(bt)));
+                        s1 = _mm256_add_ps(s1, _mm256_mul_ps(avv, _mm256_loadu_ps(bt.add(8))));
+                        s2 = _mm256_add_ps(s2, _mm256_mul_ps(avv, _mm256_loadu_ps(bt.add(16))));
+                        s3 = _mm256_add_ps(s3, _mm256_mul_ps(avv, _mm256_loadu_ps(bt.add(24))));
+                    }
+                }
+                _mm256_storeu_ps(orow.add(j), s0);
+                _mm256_storeu_ps(orow.add(j + 8), s1);
+                _mm256_storeu_ps(orow.add(j + 16), s2);
+                _mm256_storeu_ps(orow.add(j + 24), s3);
+                j += 32;
+            }
+            while j + 8 <= n {
+                let mut s = _mm256_setzero_ps();
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        s = _mm256_add_ps(
+                            s,
+                            _mm256_mul_ps(_mm256_set1_ps(av), _mm256_loadu_ps(bp.add(t * n + j))),
+                        );
+                    }
+                }
+                _mm256_storeu_ps(orow.add(j), s);
+                j += 8;
+            }
+            while j < n {
+                let mut s = 0.0f32;
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        s += av * *bp.add(t * n + j);
+                    }
+                }
+                *orow.add(j) = s;
+                j += 1;
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- AVX512
+
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dot_avx512_raw(x: *const f32, y: *const f32, len: usize) -> f32 {
+        let chunks = len / 16;
+        // One zmm lane per canonical accumulator chain.
+        let mut acc = _mm512_setzero_ps();
+        for c in 0..chunks {
+            let i = c * 16;
+            acc = _mm512_add_ps(
+                acc,
+                _mm512_mul_ps(_mm512_loadu_ps(x.add(i)), _mm512_loadu_ps(y.add(i))),
+            );
+        }
+        let mut buf = [0.0f32; 16];
+        _mm512_storeu_ps(buf.as_mut_ptr(), acc);
+        finish_dot(&buf, x, y, chunks * 16, len)
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn dot_avx512(x: &[Scalar], y: &[Scalar]) -> Scalar {
+        dot_avx512_raw(x.as_ptr(), y.as_ptr(), x.len())
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn axpy_avx512(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        let len = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = _mm512_set1_ps(alpha);
+        let wide = (len / 32) * 32;
+        let mut i = 0;
+        while i < wide {
+            let y0 = _mm512_add_ps(
+                _mm512_loadu_ps(yp.add(i)),
+                _mm512_mul_ps(av, _mm512_loadu_ps(xp.add(i))),
+            );
+            let y1 = _mm512_add_ps(
+                _mm512_loadu_ps(yp.add(i + 16)),
+                _mm512_mul_ps(av, _mm512_loadu_ps(xp.add(i + 16))),
+            );
+            _mm512_storeu_ps(yp.add(i), y0);
+            _mm512_storeu_ps(yp.add(i + 16), y1);
+            i += 32;
+        }
+        while i < len {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gemm_nt_avx512(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        let chunks = k / 16;
+        for ib in (0..m).step_by(GEMM_TILE) {
+            let ie = (ib + GEMM_TILE).min(m);
+            for jb in (0..n).step_by(GEMM_TILE) {
+                let je = (jb + GEMM_TILE).min(n);
+                for i in ib..ie {
+                    let ar = a.as_ptr().add(i * k);
+                    let orow = out.as_mut_ptr().add(i * n);
+                    let mut j = jb;
+                    // Four outputs at a time: one zmm accumulator each
+                    // (lane = canonical chain), shared `a` row loads.
+                    while j + 4 <= je {
+                        let b0 = b.as_ptr().add(j * k);
+                        let b1 = b.as_ptr().add((j + 1) * k);
+                        let b2 = b.as_ptr().add((j + 2) * k);
+                        let b3 = b.as_ptr().add((j + 3) * k);
+                        let mut p0 = _mm512_setzero_ps();
+                        let mut p1 = _mm512_setzero_ps();
+                        let mut p2 = _mm512_setzero_ps();
+                        let mut p3 = _mm512_setzero_ps();
+                        for c in 0..chunks {
+                            let i0 = c * 16;
+                            let xv = _mm512_loadu_ps(ar.add(i0));
+                            p0 = _mm512_add_ps(p0, _mm512_mul_ps(xv, _mm512_loadu_ps(b0.add(i0))));
+                            p1 = _mm512_add_ps(p1, _mm512_mul_ps(xv, _mm512_loadu_ps(b1.add(i0))));
+                            p2 = _mm512_add_ps(p2, _mm512_mul_ps(xv, _mm512_loadu_ps(b2.add(i0))));
+                            p3 = _mm512_add_ps(p3, _mm512_mul_ps(xv, _mm512_loadu_ps(b3.add(i0))));
+                        }
+                        let done = chunks * 16;
+                        let mut buf = [0.0f32; 16];
+                        _mm512_storeu_ps(buf.as_mut_ptr(), p0);
+                        *orow.add(j) = finish_dot(&buf, ar, b0, done, k);
+                        _mm512_storeu_ps(buf.as_mut_ptr(), p1);
+                        *orow.add(j + 1) = finish_dot(&buf, ar, b1, done, k);
+                        _mm512_storeu_ps(buf.as_mut_ptr(), p2);
+                        *orow.add(j + 2) = finish_dot(&buf, ar, b2, done, k);
+                        _mm512_storeu_ps(buf.as_mut_ptr(), p3);
+                        *orow.add(j + 3) = finish_dot(&buf, ar, b3, done, k);
+                        j += 4;
+                    }
+                    while j < je {
+                        *orow.add(j) = dot_avx512_raw(ar, b.as_ptr().add(j * k), k);
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn gemm_tn_avx512(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        r: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let orow = out.as_mut_ptr().add(i * n);
+            let mut j = 0;
+            while j + 64 <= n {
+                let mut s0 = _mm512_setzero_ps();
+                let mut s1 = _mm512_setzero_ps();
+                let mut s2 = _mm512_setzero_ps();
+                let mut s3 = _mm512_setzero_ps();
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        let avv = _mm512_set1_ps(av);
+                        let bt = bp.add(t * n + j);
+                        s0 = _mm512_add_ps(s0, _mm512_mul_ps(avv, _mm512_loadu_ps(bt)));
+                        s1 = _mm512_add_ps(s1, _mm512_mul_ps(avv, _mm512_loadu_ps(bt.add(16))));
+                        s2 = _mm512_add_ps(s2, _mm512_mul_ps(avv, _mm512_loadu_ps(bt.add(32))));
+                        s3 = _mm512_add_ps(s3, _mm512_mul_ps(avv, _mm512_loadu_ps(bt.add(48))));
+                    }
+                }
+                _mm512_storeu_ps(orow.add(j), s0);
+                _mm512_storeu_ps(orow.add(j + 16), s1);
+                _mm512_storeu_ps(orow.add(j + 32), s2);
+                _mm512_storeu_ps(orow.add(j + 48), s3);
+                j += 64;
+            }
+            while j + 16 <= n {
+                let mut s = _mm512_setzero_ps();
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        s = _mm512_add_ps(
+                            s,
+                            _mm512_mul_ps(_mm512_set1_ps(av), _mm512_loadu_ps(bp.add(t * n + j))),
+                        );
+                    }
+                }
+                _mm512_storeu_ps(orow.add(j), s);
+                j += 16;
+            }
+            while j < n {
+                let mut s = 0.0f32;
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        s += av * *bp.add(t * n + j);
+                    }
+                }
+                *orow.add(j) = s;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON kernels — same accumulator-chain layout as the SSE2 tier
+    //! (4 × 128-bit), so the canonical order carries over unchanged.
+    #![allow(unsafe_op_in_unsafe_fn)]
+
+    use core::arch::aarch64::*;
+
+    use crate::Scalar;
+
+    #[inline(always)]
+    unsafe fn finish_dot(
+        buf: &[f32; 16],
+        x: *const f32,
+        y: *const f32,
+        done: usize,
+        len: usize,
+    ) -> f32 {
+        let mut sum = 0.0f32;
+        for &v in buf {
+            sum += v;
+        }
+        for i in done..len {
+            sum += *x.add(i) * *y.add(i);
+        }
+        sum
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn dot_neon_raw(x: *const f32, y: *const f32, len: usize) -> f32 {
+        let chunks = len / 16;
+        let mut acc0 = vdupq_n_f32(0.0);
+        let mut acc1 = vdupq_n_f32(0.0);
+        let mut acc2 = vdupq_n_f32(0.0);
+        let mut acc3 = vdupq_n_f32(0.0);
+        for c in 0..chunks {
+            let i = c * 16;
+            acc0 = vaddq_f32(acc0, vmulq_f32(vld1q_f32(x.add(i)), vld1q_f32(y.add(i))));
+            acc1 = vaddq_f32(
+                acc1,
+                vmulq_f32(vld1q_f32(x.add(i + 4)), vld1q_f32(y.add(i + 4))),
+            );
+            acc2 = vaddq_f32(
+                acc2,
+                vmulq_f32(vld1q_f32(x.add(i + 8)), vld1q_f32(y.add(i + 8))),
+            );
+            acc3 = vaddq_f32(
+                acc3,
+                vmulq_f32(vld1q_f32(x.add(i + 12)), vld1q_f32(y.add(i + 12))),
+            );
+        }
+        let mut buf = [0.0f32; 16];
+        vst1q_f32(buf.as_mut_ptr(), acc0);
+        vst1q_f32(buf.as_mut_ptr().add(4), acc1);
+        vst1q_f32(buf.as_mut_ptr().add(8), acc2);
+        vst1q_f32(buf.as_mut_ptr().add(12), acc3);
+        finish_dot(&buf, x, y, chunks * 16, len)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_neon(x: &[Scalar], y: &[Scalar]) -> Scalar {
+        dot_neon_raw(x.as_ptr(), y.as_ptr(), x.len())
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn axpy_neon(alpha: Scalar, x: &[Scalar], y: &mut [Scalar]) {
+        let len = x.len();
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let av = vdupq_n_f32(alpha);
+        let wide = (len / 8) * 8;
+        let mut i = 0;
+        while i < wide {
+            let y0 = vaddq_f32(vld1q_f32(yp.add(i)), vmulq_f32(av, vld1q_f32(xp.add(i))));
+            let y1 = vaddq_f32(
+                vld1q_f32(yp.add(i + 4)),
+                vmulq_f32(av, vld1q_f32(xp.add(i + 4))),
+            );
+            vst1q_f32(yp.add(i), y0);
+            vst1q_f32(yp.add(i + 4), y1);
+            i += 8;
+        }
+        while i < len {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_nt_neon(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        use crate::ops::GEMM_TILE;
+        for ib in (0..m).step_by(GEMM_TILE) {
+            let ie = (ib + GEMM_TILE).min(m);
+            for jb in (0..n).step_by(GEMM_TILE) {
+                let je = (jb + GEMM_TILE).min(n);
+                for i in ib..ie {
+                    let ar = a.as_ptr().add(i * k);
+                    let orow = out.as_mut_ptr().add(i * n);
+                    for j in jb..je {
+                        *orow.add(j) = dot_neon_raw(ar, b.as_ptr().add(j * k), k);
+                    }
+                }
+            }
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn gemm_tn_neon(
+        a: &[Scalar],
+        b: &[Scalar],
+        out: &mut [Scalar],
+        r: usize,
+        m: usize,
+        n: usize,
+    ) {
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let orow = out.as_mut_ptr().add(i * n);
+            let mut j = 0;
+            while j + 16 <= n {
+                let mut s0 = vdupq_n_f32(0.0);
+                let mut s1 = vdupq_n_f32(0.0);
+                let mut s2 = vdupq_n_f32(0.0);
+                let mut s3 = vdupq_n_f32(0.0);
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        let avv = vdupq_n_f32(av);
+                        let bt = bp.add(t * n + j);
+                        s0 = vaddq_f32(s0, vmulq_f32(avv, vld1q_f32(bt)));
+                        s1 = vaddq_f32(s1, vmulq_f32(avv, vld1q_f32(bt.add(4))));
+                        s2 = vaddq_f32(s2, vmulq_f32(avv, vld1q_f32(bt.add(8))));
+                        s3 = vaddq_f32(s3, vmulq_f32(avv, vld1q_f32(bt.add(12))));
+                    }
+                }
+                vst1q_f32(orow.add(j), s0);
+                vst1q_f32(orow.add(j + 4), s1);
+                vst1q_f32(orow.add(j + 8), s2);
+                vst1q_f32(orow.add(j + 12), s3);
+                j += 16;
+            }
+            while j < n {
+                let mut s = 0.0f32;
+                for t in 0..r {
+                    let av = *ap.add(t * m + i);
+                    if av != 0.0 {
+                        s += av * *bp.add(t * n + j);
+                    }
+                }
+                *orow.add(j) = s;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that flip the process-wide tier. Results are
+    /// tier-independent, so racing would only break assertions *about*
+    /// the active tier — but serialize anyway for determinism.
+    static TIER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn tier_lock() -> MutexGuard<'static, ()> {
+        TIER_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deterministic pseudo-random fill that exercises non-representable
+    /// sums (so any associativity drift actually flips bits).
+    fn lcg_vec(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                ((state >> 33) as f32 / (1u64 << 31) as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    fn other_tiers() -> Vec<SimdTier> {
+        supported_tiers()
+            .into_iter()
+            .filter(|&t| t != SimdTier::Scalar)
+            .collect()
+    }
+
+    fn dot_with(tier: SimdTier, x: &[f32], y: &[f32]) -> f32 {
+        let prev = set_tier(tier);
+        let d = dot(x, y);
+        set_tier(prev);
+        d
+    }
+
+    #[test]
+    fn detect_best_is_last_supported() {
+        let tiers = supported_tiers();
+        assert_eq!(tiers[0], SimdTier::Scalar);
+        assert_eq!(detect_best(), *tiers.last().unwrap());
+    }
+
+    #[test]
+    fn set_tier_roundtrips() {
+        let _g = tier_lock();
+        let initial = active_tier();
+        let prev = set_tier(SimdTier::Scalar);
+        assert_eq!(prev, initial);
+        assert_eq!(active_tier(), SimdTier::Scalar);
+        set_tier(initial);
+        assert_eq!(active_tier(), initial);
+    }
+
+    #[test]
+    fn dot_bitwise_identical_across_tiers() {
+        let _g = tier_lock();
+        for len in [0usize, 1, 5, 15, 16, 17, 31, 32, 100, 255, 256, 1000] {
+            let x = lcg_vec(len, 17 + len as u64);
+            let y = lcg_vec(len, 91 + len as u64);
+            let want = scalar::dot(&x, &y);
+            for tier in other_tiers() {
+                let got = dot_with(tier, &x, &y);
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "dot len={len} tier={} : {got} vs scalar {want}",
+                    tier.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_bitwise_identical_across_tiers() {
+        let _g = tier_lock();
+        for len in [0usize, 1, 7, 16, 33, 64, 100, 257] {
+            let x = lcg_vec(len, 3 + len as u64);
+            let base = lcg_vec(len, 7 + len as u64);
+            let mut want = base.clone();
+            scalar::axpy(0.37, &x, &mut want);
+            for tier in other_tiers() {
+                let mut got = base.clone();
+                let prev = set_tier(tier);
+                axpy(0.37, &x, &mut got);
+                set_tier(prev);
+                let same = got
+                    .iter()
+                    .zip(&want)
+                    .all(|(g, w)| g.to_bits() == w.to_bits());
+                assert!(same, "axpy len={len} tier={}", tier.name());
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_bitwise_identical_across_tiers() {
+        let _g = tier_lock();
+        for (m, n, k) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (8, 33, 17),
+            (33, 31, 40),
+            (40, 34, 129),
+        ] {
+            let a = lcg_vec(m * k, 11);
+            let b = lcg_vec(n * k, 13);
+            let mut want = vec![0.0f32; m * n];
+            scalar::gemm_nt(&a, &b, &mut want, m, n, k);
+            for tier in other_tiers() {
+                let mut got = vec![0.0f32; m * n];
+                let prev = set_tier(tier);
+                gemm_nt(&a, &b, &mut got, m, n, k);
+                set_tier(prev);
+                for (idx, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "gemm_nt ({m},{n},{k}) tier={} idx={idx}",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tn_bitwise_identical_across_tiers() {
+        let _g = tier_lock();
+        for (r, m, n) in [
+            (1, 1, 1),
+            (7, 5, 3),
+            (32, 10, 64),
+            (40, 33, 31),
+            (129, 34, 65),
+        ] {
+            let a = lcg_vec(r * m, 19);
+            let b = lcg_vec(r * n, 23);
+            let mut want = vec![0.0f32; m * n];
+            scalar::gemm_tn(&a, &b, &mut want, r, m, n);
+            for tier in other_tiers() {
+                let mut got = vec![0.0f32; m * n];
+                let prev = set_tier(tier);
+                gemm_tn(&a, &b, &mut got, r, m, n);
+                set_tier(prev);
+                for (idx, (g, w)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "gemm_tn ({r},{m},{n}) tier={} idx={idx}",
+                        tier.name()
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        /// Satellite: the ReLU zero-skip must survive vectorization —
+        /// sparse-delta inputs (many exact zeros, like backprop deltas
+        /// after ReLU masking) produce bit-identical `gemm_tn` results at
+        /// every tier.
+        #[test]
+        fn prop_gemm_tn_sparse_delta_bitwise(
+            seed in 0u64..1000,
+            r in 1usize..24,
+            m in 1usize..12,
+            n in 1usize..80,
+            density in 0.0f64..1.0,
+        ) {
+            let _g = tier_lock();
+            let mut a = lcg_vec(r * m, seed);
+            // Zero out entries like a ReLU mask would.
+            let gate = lcg_vec(r * m, seed ^ 0xabcd);
+            for (av, g) in a.iter_mut().zip(&gate) {
+                if f64::from(*g) * 0.5 + 0.5 > density {
+                    *av = 0.0;
+                }
+            }
+            let b = lcg_vec(r * n, seed ^ 0x55aa);
+            let mut want = vec![0.0f32; m * n];
+            scalar::gemm_tn(&a, &b, &mut want, r, m, n);
+            for tier in other_tiers() {
+                let mut got = vec![0.0f32; m * n];
+                let prev = set_tier(tier);
+                gemm_tn(&a, &b, &mut got, r, m, n);
+                set_tier(prev);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits(),
+                        "tier={} r={} m={} n={}", tier.name(), r, m, n);
+                }
+            }
+        }
+
+        /// Sparse inputs through `gemm_nt` as well: zero-heavy rows must
+        /// not perturb the canonical dot order.
+        #[test]
+        fn prop_gemm_nt_bitwise(
+            seed in 0u64..1000,
+            m in 1usize..10,
+            n in 1usize..10,
+            k in 1usize..96,
+        ) {
+            let _g = tier_lock();
+            let a = lcg_vec(m * k, seed);
+            let b = lcg_vec(n * k, seed ^ 0x77);
+            let mut want = vec![0.0f32; m * n];
+            scalar::gemm_nt(&a, &b, &mut want, m, n, k);
+            for tier in other_tiers() {
+                let mut got = vec![0.0f32; m * n];
+                let prev = set_tier(tier);
+                gemm_nt(&a, &b, &mut got, m, n, k);
+                set_tier(prev);
+                for (g, w) in got.iter().zip(&want) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits(), "tier={}", tier.name());
+                }
+            }
+        }
+    }
+}
