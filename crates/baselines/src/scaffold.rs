@@ -116,6 +116,11 @@ impl LocalUpdate for Scaffold {
         // Variate correction adds two parameter-sized axpys per batch.
         1.3
     }
+
+    fn upload_payload_factor(&self) -> f64 {
+        // Uploads carry the client control variate alongside the model.
+        2.0
+    }
 }
 
 #[cfg(test)]

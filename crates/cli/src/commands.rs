@@ -138,7 +138,9 @@ ROBUST AGGREGATION (group-level, Line 14):
 OUTPUT:
   --csv PATH         write the trajectory as CSV
   --checkpoint PATH  write a resumable snapshot at the end
-  --trace-out PATH   write a JSONL run trace (docs/OBSERVABILITY.md)
+  --trace-out PATH   stream a JSONL run trace (docs/OBSERVABILITY.md)
+  --trace-buffer N   max spans buffered before spilling to the trace file
+                     (default 65536; memory bound for --trace-out)
   --metrics          print the end-of-run metrics summary table";
 
 /// `gfl simulate`.
@@ -211,6 +213,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let csv_path = args.get_opt("csv");
     let checkpoint_path = args.get_opt("checkpoint");
     let trace_out = args.get_opt("trace-out");
+    let trace_buffer: usize = args.get("trace-buffer", 65_536, "int")?;
     let show_metrics = args.get_flag("metrics")?;
     let faults = parse_faults(&args, seed)?;
     let churn = parse_churn(&args, seed, config.global_rounds)?;
@@ -245,8 +248,23 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let mut trainer = Trainer::try_new(config.clone(), model, train, partition, test)
         .map_err(|e| CommandError::Invalid(e.to_string()))?;
     // Observation is one-way: attaching a collector never changes results
-    // (asserted by crates/core/tests/determinism.rs).
-    let observer = (trace_out.is_some() || show_metrics).then(gfl_obs::TraceCollector::new);
+    // (asserted by crates/core/tests/determinism.rs). With --trace-out the
+    // collector streams spans to the file at every round barrier, keeping
+    // buffered-span memory bounded by --trace-buffer.
+    let observer = match &trace_out {
+        Some(path) => Some(
+            gfl_obs::TraceCollector::streaming_to(
+                std::path::Path::new(path),
+                effective_threads,
+                gfl_obs::StreamConfig {
+                    span_buffer_cap: trace_buffer,
+                    ..gfl_obs::StreamConfig::default()
+                },
+            )
+            .map_err(|e| CommandError::Invalid(format!("cannot open trace file: {e}")))?,
+        ),
+        None => show_metrics.then(gfl_obs::TraceCollector::new),
+    };
     if let Some(obs) = &observer {
         trainer = trainer.with_observer(std::sync::Arc::clone(obs));
     }
@@ -423,14 +441,13 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         writeln!(out, "wrote {path}")?;
     }
     if let Some(obs) = observer {
+        // A streaming collector has been writing the file all along;
+        // finish() appends the summary line and flushes it.
         let trace = obs.finish(effective_threads);
         if show_metrics {
             write_metrics_summary(out, &trace)?;
         }
         if let Some(path) = trace_out {
-            trace
-                .save(&path)
-                .map_err(|e| CommandError::Invalid(format!("cannot write trace: {e}")))?;
             writeln!(out, "wrote {path}")?;
         }
     }
@@ -1455,6 +1472,44 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(trace.rounds.len(), 2);
         assert!(trace.summary.is_some());
+    }
+
+    #[test]
+    fn semi_async_metrics_expose_the_async_family() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --runtime semi-async --metrics",
+        );
+        r.unwrap();
+        assert!(out.contains("async.clock_s"), "{out}");
+        assert!(out.contains("async.stale."), "{out}");
+    }
+
+    #[test]
+    fn adversary_metrics_expose_the_attacks_family() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --adversary moderate --metrics",
+        );
+        r.unwrap();
+        assert!(out.contains("attacks.injected"), "{out}");
+    }
+
+    #[test]
+    fn robust_aggregation_metrics_expose_the_defense_family() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --adversary moderate --robust-agg flame --robust-f 1 --metrics",
+        );
+        r.unwrap();
+        assert!(out.contains("defense.similarity_evals"), "{out}");
+        assert!(out.contains("defense.norm_passes"), "{out}");
     }
 
     #[test]

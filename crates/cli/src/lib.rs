@@ -7,6 +7,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod trace_cli;
 
 pub use args::{Args, ParseError};
 

@@ -152,6 +152,9 @@ pub struct Trainer {
     pub(crate) partition: ClientPartition,
     pub(crate) test: Dataset,
     pub(crate) faults: Option<FaultState>,
+    /// Link model used for byte accounting on clean runs; faulted runs use
+    /// the fault state's (possibly customized) model instead.
+    comm: CommModel,
     churn: Option<ChurnState>,
     pub(crate) adversary: Option<AdversaryState>,
     robust_agg: RobustAggRule,
@@ -448,6 +451,7 @@ impl Trainer {
             partition,
             test,
             faults: None,
+            comm: CommModel::edge_default(),
             churn: None,
             adversary: None,
             robust_agg: RobustAggRule::Mean,
@@ -458,6 +462,17 @@ impl Trainer {
             eval_pool: gfl_nn::EvalPool::new(),
             obs: None,
         })
+    }
+
+    /// The link model charged for byte accounting: the fault state's when
+    /// faults are enabled (it also drives upload retries there), the
+    /// trainer's default otherwise, so clean and faulted runs price
+    /// traffic identically.
+    pub(crate) fn comm_model(&self) -> &CommModel {
+        match &self.faults {
+            Some(fs) => &fs.comm,
+            None => &self.comm,
+        }
     }
 
     /// Attaches a [`TraceCollector`]: every subsequent run records spans,
@@ -819,6 +834,10 @@ impl Trainer {
         let round_start = obs.map(|o| o.now_ns());
         let pool_before = obs.map(|_| gfl_parallel::stats::snapshot());
         let allocs_before = obs.map(|_| gfl_obs::alloc::current_allocs());
+        // Byte accounting is charged unconditionally (it is a deterministic
+        // function of the sampled groups, never of timing); the snapshot
+        // lets the round record report per-round deltas.
+        let bytes_before = (ledger.client_edge_bytes(), ledger.edge_cloud_bytes());
         {
             let lr = cfg.lr.at(t);
             // Sampling randomness is a pure function of (seed, t) so that a
@@ -872,14 +891,25 @@ impl Trainer {
                 end
             });
             let mut comm_ns = 0u64;
+            let mut comm_bytes = 0u64;
 
             // Charge Eq. 5 for every group that attempted the round. One
             // pooled size buffer serves every group (and Line 15 below).
             let mut sizes = self.member_pool.take();
+            let comm = self.comm_model();
+            let client_bytes = comm.client_bytes_per_round(
+                params.len(),
+                cfg.group_rounds,
+                strategy.upload_payload_factor(),
+            );
             for o in &outcomes {
                 sizes.clear();
                 sizes.extend(o.members.iter().map(|&c| self.partition.indices[c].len()));
                 ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
+                // Every member that attempted the round moved its downloads
+                // and uploads on the client↔edge link, whether or not the
+                // group's result later survives the cloud-side gates.
+                ledger.charge_client_edge_bytes(o.members.len() as u64 * client_bytes);
             }
             // Measured defense-filter work (FLAME-style cosine clustering)
             // lands in the ledger alongside the emulated group ops, so a
@@ -903,6 +933,11 @@ impl Trainer {
             for o in &outcomes {
                 round_events.extend(o.events.iter().cloned());
                 round_attacks.extend(o.attacks.iter().cloned());
+                // Edge↔cloud bytes for this group's upload: first-try
+                // uploads move one payload; retried uploads move one per
+                // attempt (charged in the retry branch below, delivered or
+                // not — failed attempts still put bytes on the wire).
+                let mut upload_charged = false;
                 if let Some(fs) = &self.faults {
                     let required = (fs.policy.quorum_fraction
                         * (cfg.group_rounds * o.samples) as f64)
@@ -944,6 +979,9 @@ impl Trainer {
                             extra_seconds: retry.seconds,
                             extra_bytes: retry.bytes,
                         });
+                        ledger.charge_edge_cloud_bytes(retry.bytes);
+                        upload_charged = true;
+                        comm_bytes += retry.bytes;
                         let delivered = retry.delivered;
                         if let Some(ob) = obs {
                             let start = retry_start.unwrap();
@@ -953,7 +991,7 @@ impl Trainer {
                                 SpanKind::UploadRetry,
                                 start,
                                 end,
-                                SpanAttrs::group(t, o.group),
+                                SpanAttrs::group(t, o.group).with_bytes(retry.bytes),
                             );
                         }
                         if !delivered {
@@ -964,6 +1002,9 @@ impl Trainer {
                             continue;
                         }
                     }
+                }
+                if !upload_charged {
+                    ledger.charge_edge_cloud_bytes(comm.group_cloud_bytes(params.len()));
                 }
                 included.push(o);
             }
@@ -1016,7 +1057,12 @@ impl Trainer {
                     SpanAttrs::round(t),
                 );
                 if comm_ns > 0 {
-                    ob.record_span_at(SpanKind::Comm, start, start + comm_ns, SpanAttrs::round(t));
+                    ob.record_span_at(
+                        SpanKind::Comm,
+                        start,
+                        start + comm_ns,
+                        SpanAttrs::round(t).with_bytes(comm_bytes),
+                    );
                 }
                 end
             });
@@ -1080,6 +1126,8 @@ impl Trainer {
                     .iter()
                     .map(|o| (o.members.len() * cfg.group_rounds) as u64)
                     .sum();
+                let ce_bytes = ledger.client_edge_bytes() - bytes_before.0;
+                let ec_bytes = ledger.edge_cloud_bytes() - bytes_before.1;
                 ob.record_round(RoundMetrics {
                     round: t as u64,
                     wall_ns: end.saturating_sub(start),
@@ -1096,11 +1144,15 @@ impl Trainer {
                     pool_steals: pool.steals,
                     pool_utilization: pool.utilization(),
                     allocs,
+                    client_edge_bytes: Some(ce_bytes),
+                    edge_cloud_bytes: Some(ec_bytes),
                 });
                 let m = ob.metrics();
                 m.counter("rounds.total").inc();
                 m.counter("events.faults").add(fault_events);
                 m.counter("clients.trained").add(clients_trained);
+                m.counter("comm.bytes.client_edge").add(ce_bytes);
+                m.counter("comm.bytes.edge_cloud").add(ec_bytes);
                 m.gauge("cost.total").set(ledger.total());
                 m.gauge("pool.utilization").set(pool.utilization());
                 // Attack/defense telemetry only exists on runs that opted

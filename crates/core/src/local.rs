@@ -196,6 +196,13 @@ pub trait LocalUpdate: Send + Sync {
     fn training_cost_factor(&self) -> f64 {
         1.0
     }
+
+    /// Multiplier on client upload size relative to a bare model update
+    /// (SCAFFOLD ships its control variate alongside, doubling the
+    /// payload). Drives the `comm.bytes.client_edge` accounting.
+    fn upload_payload_factor(&self) -> f64 {
+        1.0
+    }
 }
 
 /// Runs the shared minibatch loop, applying `adjust_grad` to each raw

@@ -492,6 +492,7 @@ impl Trainer {
         let s = cfg.sampled_groups.clamp(1, groups.len());
         let obs = self.obs.as_deref();
         let round_start = obs.map(|o| o.now_ns());
+        let bytes_before = (ledger.client_edge_bytes(), ledger.edge_cloud_bytes());
         let dispatch = sched.clock_s;
         let lr = cfg.lr.at(t);
         // Identical sampling stream to the lockstep engine: a pure
@@ -581,6 +582,13 @@ impl Trainer {
 
         // Charge Eq. 5 for every group that attempted the round — stale
         // or not, the work was done and the ledger is effort, not luck.
+        // Same rule for client↔edge bytes: every member moved its
+        // downloads and uploads whether or not the result beats the close.
+        let client_bytes = self.comm_model().client_bytes_per_round(
+            params.len(),
+            cfg.group_rounds,
+            strategy.upload_payload_factor(),
+        );
         for o in &outcomes {
             let sizes: Vec<usize> = o
                 .members
@@ -588,6 +596,7 @@ impl Trainer {
                 .map(|&c| self.partition.indices[c].len())
                 .collect();
             ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
+            ledger.charge_client_edge_bytes(o.members.len() as u64 * client_bytes);
         }
         let (defense_sims, defense_norms) = outcomes.iter().fold((0u64, 0u64), |acc, o| {
             (
@@ -609,6 +618,9 @@ impl Trainer {
         for (i, (o, tl)) in outcomes.iter().zip(timelines.iter()).enumerate() {
             round_events.extend(o.events.iter().cloned());
             round_attacks.extend(o.attacks.iter().cloned());
+            // The upload put bytes on the edge↔cloud wire no matter how it
+            // resolves — rejected and lost results still transmitted.
+            ledger.charge_edge_cloud_bytes(tl.upload.bytes);
             let resolved = dispatch + tl.arrival_rel_s;
             sched.set_busy(o.group, resolved);
             expected_end = expected_end.max(resolved);
@@ -860,6 +872,8 @@ impl Trainer {
             let clients_trained: u64 = (0..trained)
                 .map(|i| (group_refs[i].1.len() * cfg.group_rounds) as u64)
                 .sum();
+            let ce_bytes = ledger.client_edge_bytes() - bytes_before.0;
+            let ec_bytes = ledger.edge_cloud_bytes() - bytes_before.1;
             ob.record_round(RoundMetrics {
                 round: t as u64,
                 wall_ns: end.saturating_sub(start),
@@ -876,11 +890,15 @@ impl Trainer {
                 pool_steals: 0,
                 pool_utilization: 0.0,
                 allocs: 0,
+                client_edge_bytes: Some(ce_bytes),
+                edge_cloud_bytes: Some(ec_bytes),
             });
             let m = ob.metrics();
             m.counter("rounds.total").inc();
             m.counter("events.faults").add(fault_events);
             m.counter("clients.trained").add(clients_trained);
+            m.counter("comm.bytes.client_edge").add(ce_bytes);
+            m.counter("comm.bytes.edge_cloud").add(ec_bytes);
             m.gauge("cost.total").set(ledger.total());
             // Semi-async telemetry only exists on semi-async runs, so
             // lockstep traces stay byte-identical to pre-async ones.

@@ -207,6 +207,44 @@ fn traced_run_is_bit_identical_to_untraced_run() {
         let back = gfl_obs::TraceReader::parse(&jsonl).expect("trace parses");
         assert_eq!(back.rounds.len(), cfg.global_rounds);
         assert_eq!(back.meta.threads, threads as u64);
+
+        // Same contract for the streaming collector: run, history, and
+        // params all unperturbed, and the bytes it streamed at round
+        // barriers equal its own in-memory serialization.
+        let stream_buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::<u8>::new()));
+        struct Sink(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl std::io::Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let obs = gfl_obs::TraceCollector::streaming_tee(
+            Box::new(Sink(std::sync::Arc::clone(&stream_buf))),
+            threads,
+            gfl_obs::StreamConfig::default(),
+        );
+        let traced = make().with_observer(std::sync::Arc::clone(&obs));
+        let (h, p) = traced.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        let trace = obs.finish(threads);
+        assert_eq!(
+            base_h_bytes,
+            serde_json::to_string(&h).expect("serialize history"),
+            "streamed history diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_p, p,
+            "streamed final params diverged at {threads} threads"
+        );
+        let streamed = String::from_utf8(stream_buf.lock().unwrap().clone()).unwrap();
+        assert_eq!(
+            streamed,
+            trace.to_jsonl(),
+            "streamed bytes diverged from the in-memory path at {threads} threads"
+        );
     }
     gfl_parallel::set_default_parallelism(0);
 }

@@ -28,6 +28,7 @@ use gfl_core::membership::RegroupPolicy;
 use gfl_core::prelude::*;
 use gfl_data::{ClientPartition, PartitionSpec, SyntheticSpec};
 use gfl_faults::{AdversaryPlan, ChurnPlan, FaultPlan, FaultPolicy};
+use gfl_obs::diff::first_divergence;
 use gfl_sim::Topology;
 use serde::Value;
 
@@ -80,30 +81,45 @@ fn world(
 }
 
 fn run_scenario(name: &str, seed: u64) -> RunHistory {
+    run_scenario_observed(name, seed, None)
+}
+
+/// Like [`run_scenario`], with an optional trace collector attached to the
+/// trainer — used by the streaming byte-identity test to replay the golden
+/// scenarios under observation.
+fn run_scenario_observed(
+    name: &str,
+    seed: u64,
+    obs: Option<std::sync::Arc<gfl_obs::TraceCollector>>,
+) -> RunHistory {
     let (cfg, model, part, topo, groups, train, test) = world(seed);
+    let attach = |t: Trainer| match &obs {
+        Some(o) => t.with_observer(std::sync::Arc::clone(o)),
+        None => t,
+    };
     match name {
         "clean" => {
-            let t = Trainer::new(cfg, model, train, part, test);
+            let t = attach(Trainer::new(cfg, model, train, part, test));
             t.run(&groups, &FedAvg, SamplingStrategy::ESRCov)
         }
         "faulted" => {
-            let t = Trainer::new(cfg, model, train, part, test).with_faults(
+            let t = attach(Trainer::new(cfg, model, train, part, test).with_faults(
                 FaultPlan::moderate(99 + seed),
                 FaultPolicy::default(),
                 &topo,
-            );
+            ));
             t.run(&groups, &FedAvg, SamplingStrategy::ESRCov)
         }
         "churned" => {
             let horizon = cfg.global_rounds;
             let churn_seed = cfg.seed;
-            let t = Trainer::new(cfg, model, train, part, test).with_churn(
+            let t = attach(Trainer::new(cfg, model, train, part, test).with_churn(
                 ChurnPlan {
                     horizon,
                     ..ChurnPlan::moderate(churn_seed)
                 },
                 RegroupPolicy::default(),
-            );
+            ));
             let algo = CovGrouping {
                 min_group_size: 2,
                 max_cov: 1.0,
@@ -116,7 +132,7 @@ fn run_scenario(name: &str, seed: u64) -> RunHistory {
         "secure" => {
             let mut cfg = cfg;
             cfg.secure_aggregation = true;
-            let t = Trainer::new(cfg, model, train, part, test);
+            let t = attach(Trainer::new(cfg, model, train, part, test));
             t.run(&groups, &FedAvg, SamplingStrategy::Random)
         }
         "attacked" => {
@@ -139,9 +155,11 @@ fn run_scenario(name: &str, seed: u64) -> RunHistory {
                 model_poison_fraction: 0.15,
                 ..AdversaryPlan::moderate(77 + seed)
             };
-            let t = Trainer::new(cfg, model, train, part, test)
-                .with_adversary(plan)
-                .with_robust_agg(RobustAggRule::FlameFilter);
+            let t = attach(
+                Trainer::new(cfg, model, train, part, test)
+                    .with_adversary(plan)
+                    .with_robust_agg(RobustAggRule::FlameFilter),
+            );
             let h = t.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
             assert!(
                 h.attack_summary().injected() > 0,
@@ -150,49 +168,6 @@ fn run_scenario(name: &str, seed: u64) -> RunHistory {
             h
         }
         other => panic!("unknown scenario {other}"),
-    }
-}
-
-/// Recursively compares two JSON values, returning the path and values of
-/// the first divergence (objects by key, arrays by index, depth-first).
-fn first_divergence(path: &str, expected: &Value, actual: &Value) -> Option<String> {
-    match (expected, actual) {
-        (Value::Object(e), Value::Object(a)) => {
-            for (key, ev) in e {
-                let sub = format!("{path}.{key}");
-                match a.iter().find(|(k, _)| k == key) {
-                    None => return Some(format!("{sub}: missing in actual")),
-                    Some((_, av)) => {
-                        if let Some(d) = first_divergence(&sub, ev, av) {
-                            return Some(d);
-                        }
-                    }
-                }
-            }
-            for (key, _) in a {
-                if !e.iter().any(|(k, _)| k == key) {
-                    return Some(format!("{path}.{key}: unexpected in actual"));
-                }
-            }
-            None
-        }
-        (Value::Array(e), Value::Array(a)) => {
-            for (i, (ev, av)) in e.iter().zip(a.iter()).enumerate() {
-                if let Some(d) = first_divergence(&format!("{path}[{i}]"), ev, av) {
-                    return Some(d);
-                }
-            }
-            if e.len() != a.len() {
-                return Some(format!(
-                    "{path}: length {} expected, {} actual",
-                    e.len(),
-                    a.len()
-                ));
-            }
-            None
-        }
-        (e, a) if e == a => None,
-        (e, a) => Some(format!("{path}: expected {e:?}, actual {a:?}")),
     }
 }
 
@@ -267,4 +242,62 @@ fn divergence_reporting_finds_the_first_differing_field() {
     let d = first_divergence("h", &a, &b).expect("must diverge");
     assert!(d.starts_with("h.x[1].y:"), "got {d}");
     assert_eq!(first_divergence("h", &a, &a), None);
+}
+
+/// `Write` target shared between the streaming sink and the assertion.
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn streamed_golden_scenarios_are_byte_identical_to_in_memory_serialization() {
+    // The streaming collector must be a pure serialization change: for
+    // every golden scenario, at 1 and 8 threads, the bytes it streams at
+    // round barriers must equal the in-memory path's `to_jsonl()` of the
+    // very same run (tee mode retains spans for the comparison), and the
+    // run's history must still match its golden snapshot — observation
+    // changed nothing.
+    for threads in [1usize, 8] {
+        gfl_parallel::set_default_parallelism(threads);
+        for scenario in ["clean", "faulted", "churned", "secure"] {
+            let buf = SharedBuf::default();
+            let obs = gfl_obs::TraceCollector::streaming_tee(
+                Box::new(buf.clone()),
+                threads,
+                gfl_obs::StreamConfig::default(),
+            );
+            let history =
+                run_scenario_observed(scenario, GOLDEN_SEEDS[0], Some(std::sync::Arc::clone(&obs)));
+            let trace = obs.finish(threads);
+            let streamed = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            assert_eq!(
+                streamed,
+                trace.to_jsonl(),
+                "{scenario} @ {threads} threads: streamed bytes diverged from in-memory path"
+            );
+            let back = gfl_obs::TraceReader::parse(&streamed).expect("streamed trace parses");
+            assert!(back.summary.is_some(), "{scenario}: summary line missing");
+
+            let rendered = serde_json::to_string_pretty(&history).expect("serialize history");
+            let expected = std::fs::read_to_string(
+                golden_dir().join(format!("{scenario}_seed{}.json", GOLDEN_SEEDS[0])),
+            )
+            .expect("golden snapshot present");
+            assert_eq!(
+                rendered.trim(),
+                expected.trim(),
+                "{scenario} @ {threads} threads: streaming observation perturbed the run"
+            );
+        }
+    }
+    gfl_parallel::set_default_parallelism(0);
 }

@@ -111,4 +111,75 @@ fn paper_shaped_trace_round_trips_and_covers_rounds() {
     );
     assert!(metrics.counter("clients.trained").unwrap_or(0) > 0);
     assert!(metrics.gauge("cost.total").unwrap_or(0.0) > 0.0);
+
+    // --- Byte accounting (schema v2): every round carries per-link wire
+    // bytes and they sum into the comm.bytes.* counters.
+    for r in &back.rounds {
+        assert!(
+            r.client_edge_bytes.unwrap_or(0) > 0,
+            "round {}: no client-edge bytes",
+            r.round
+        );
+        assert!(
+            r.edge_cloud_bytes.unwrap_or(0) > 0,
+            "round {}: no edge-cloud bytes",
+            r.round
+        );
+    }
+    let ce_sum: u64 = back.rounds.iter().filter_map(|r| r.client_edge_bytes).sum();
+    let ec_sum: u64 = back.rounds.iter().filter_map(|r| r.edge_cloud_bytes).sum();
+    assert_eq!(metrics.counter("comm.bytes.client_edge"), Some(ce_sum));
+    assert_eq!(metrics.counter("comm.bytes.edge_cloud"), Some(ec_sum));
+}
+
+#[test]
+fn streaming_collector_keeps_span_memory_bounded_on_a_paper_shaped_run() {
+    // A deliberately tiny buffer (4 spans per shard) forces mid-round
+    // spills on a run producing thousands of client-step spans. The
+    // collector must (a) never buffer more than its configured bound,
+    // (b) drain to zero at every round barrier, and (c) still stream a
+    // complete, parseable trace.
+    let (trainer, groups, rounds) = paper_shaped();
+    let path = std::env::temp_dir().join(format!(
+        "gfl_stream_bound_test_{}.jsonl",
+        std::process::id()
+    ));
+    let obs = TraceCollector::streaming_to(
+        &path,
+        1,
+        gfl_obs::StreamConfig {
+            span_buffer_cap: 4 * gfl_obs::SHARDS,
+            ..gfl_obs::StreamConfig::default()
+        },
+    )
+    .expect("open trace sink");
+    let trainer = trainer.with_observer(std::sync::Arc::clone(&obs));
+    trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+
+    let bound = obs.span_buffer_bound();
+    assert_eq!(bound, 4 * gfl_obs::SHARDS);
+    assert!(
+        obs.max_buffered_spans() <= bound,
+        "buffered {} spans, bound {bound}",
+        obs.max_buffered_spans()
+    );
+    assert_eq!(obs.buffered_spans(), 0, "round barrier must drain shards");
+
+    let trace = obs.finish(1);
+    assert!(
+        trace.spans.is_empty(),
+        "non-tee streaming must not retain spans in memory"
+    );
+    let back = TraceReader::read(&path).expect("streamed trace parses");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back.rounds.len(), rounds);
+    let summary = back.summary.as_ref().expect("summary present");
+    assert_eq!(summary.rounds, rounds as u64);
+    // The streamed file holds far more spans than the collector was ever
+    // allowed to buffer — the memory bound is real, not slack.
+    assert!(
+        back.spans.len() > bound,
+        "run produced {} spans, bound {bound}: cap never exercised",
+        back.spans.len()
+    );
 }

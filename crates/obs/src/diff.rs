@@ -1,0 +1,95 @@
+//! Structural JSON diffing: the golden-trace differ, made reusable.
+//!
+//! [`first_divergence`] walks two parsed JSON values depth-first and
+//! reports the path and values of the first mismatch — precise enough to
+//! point at a single field of a single record. It backs both the
+//! `gfl-core` golden-snapshot suite and the user-facing `gfl-trace diff`
+//! command.
+
+use serde::Value;
+
+/// Recursively compares two JSON values, returning the path and values of
+/// the first divergence (objects by key, arrays by index, depth-first), or
+/// `None` when the values are structurally identical.
+///
+/// Object keys present in only one side are divergences; array length
+/// mismatches are reported after the common prefix has been compared, so
+/// the message names the first *content* difference when there is one.
+pub fn first_divergence(path: &str, expected: &Value, actual: &Value) -> Option<String> {
+    match (expected, actual) {
+        (Value::Object(e), Value::Object(a)) => {
+            for (key, ev) in e {
+                let sub = format!("{path}.{key}");
+                match a.iter().find(|(k, _)| k == key) {
+                    None => return Some(format!("{sub}: missing in actual")),
+                    Some((_, av)) => {
+                        if let Some(d) = first_divergence(&sub, ev, av) {
+                            return Some(d);
+                        }
+                    }
+                }
+            }
+            for (key, _) in a {
+                if !e.iter().any(|(k, _)| k == key) {
+                    return Some(format!("{path}.{key}: unexpected in actual"));
+                }
+            }
+            None
+        }
+        (Value::Array(e), Value::Array(a)) => {
+            for (i, (ev, av)) in e.iter().zip(a.iter()).enumerate() {
+                if let Some(d) = first_divergence(&format!("{path}[{i}]"), ev, av) {
+                    return Some(d);
+                }
+            }
+            if e.len() != a.len() {
+                return Some(format!(
+                    "{path}: length {} expected, {} actual",
+                    e.len(),
+                    a.len()
+                ));
+            }
+            None
+        }
+        (e, a) if e == a => None,
+        (e, a) => Some(format!("{path}: expected {e:?}, actual {a:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        serde_json::from_str(s).unwrap()
+    }
+
+    #[test]
+    fn finds_the_first_differing_field_depth_first() {
+        let a = v(r#"{"x":[{"y":1.5},{"y":2.0}],"z":"s"}"#);
+        let b = v(r#"{"x":[{"y":1.5},{"y":2.5}],"z":"s"}"#);
+        let d = first_divergence("h", &a, &b).expect("must diverge");
+        assert!(d.starts_with("h.x[1].y:"), "got {d}");
+        assert_eq!(first_divergence("h", &a, &a), None);
+    }
+
+    #[test]
+    fn reports_missing_and_unexpected_keys_and_length_mismatches() {
+        let a = v(r#"{"x":1,"y":2}"#);
+        let b = v(r#"{"x":1}"#);
+        assert_eq!(
+            first_divergence("r", &a, &b).as_deref(),
+            Some("r.y: missing in actual")
+        );
+        assert_eq!(
+            first_divergence("r", &b, &a).as_deref(),
+            Some("r.y: unexpected in actual")
+        );
+        let short = v("[1,2]");
+        let long = v("[1,2,3]");
+        assert_eq!(
+            first_divergence("r", &short, &long).as_deref(),
+            Some("r: length 2 expected, 3 actual")
+        );
+    }
+}

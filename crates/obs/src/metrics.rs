@@ -7,8 +7,64 @@
 //! sorted by name, suitable for the JSONL summary record and CLI tables.
 
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// An invalid instrument registration, caught before the instrument exists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// A histogram was registered with no bucket bounds: every observation
+    /// would land in the overflow bucket and the histogram says nothing.
+    EmptyBounds { name: String },
+    /// A bucket bound is NaN or infinite (`bounds[index]`): comparisons
+    /// against it misbucket silently.
+    NonFiniteBound { name: String, index: usize },
+    /// Bounds are not strictly increasing at `index` (`bounds[index] >=
+    /// bounds[index + 1]`): observations land in the first matching bucket,
+    /// so later buckets are unreachable.
+    UnsortedBounds { name: String, index: usize },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::EmptyBounds { name } => {
+                write!(f, "histogram `{name}`: bucket bounds must be non-empty")
+            }
+            MetricsError::NonFiniteBound { name, index } => {
+                write!(f, "histogram `{name}`: bound {index} is not finite")
+            }
+            MetricsError::UnsortedBounds { name, index } => write!(
+                f,
+                "histogram `{name}`: bounds must be strictly increasing (violated at index {index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// Validates histogram bucket bounds: non-empty, all finite, strictly
+/// increasing.
+fn validate_bounds(name: &str, bounds: &[f64]) -> Result<(), MetricsError> {
+    if bounds.is_empty() {
+        return Err(MetricsError::EmptyBounds { name: name.into() });
+    }
+    if let Some(index) = bounds.iter().position(|b| !b.is_finite()) {
+        return Err(MetricsError::NonFiniteBound {
+            name: name.into(),
+            index,
+        });
+    }
+    if let Some(index) = bounds.windows(2).position(|w| w[0] >= w[1]) {
+        return Err(MetricsError::UnsortedBounds {
+            name: name.into(),
+            index,
+        });
+    }
+    Ok(())
+}
 
 /// Monotonically increasing `u64` counter.
 #[derive(Debug, Default)]
@@ -62,10 +118,6 @@ pub struct Histogram {
 
 impl Histogram {
     fn new(bounds: &[f64]) -> Self {
-        debug_assert!(
-            bounds.windows(2).all(|w| w[0] < w[1]),
-            "histogram bounds must be strictly increasing"
-        );
         Histogram {
             bounds: bounds.to_vec(),
             counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
@@ -144,14 +196,34 @@ impl MetricsRegistry {
 
     /// Returns the histogram named `name`, registering it with the given
     /// bucket bounds on first use (later calls ignore `bounds`).
+    ///
+    /// # Panics
+    /// Panics when the first registration carries malformed bounds — empty,
+    /// non-finite, or not strictly increasing. Use
+    /// [`MetricsRegistry::try_histogram`] for a typed error instead.
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.try_histogram(name, bounds)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`MetricsRegistry::histogram`] that validates the bucket bounds at
+    /// registration (non-empty, finite, strictly increasing) and returns a
+    /// typed [`MetricsError`] instead of silently misbucketing. Bounds of
+    /// later calls for an already-registered name are not re-validated —
+    /// they are ignored, like in `histogram`.
+    pub fn try_histogram(
+        &self,
+        name: &str,
+        bounds: &[f64],
+    ) -> Result<Arc<Histogram>, MetricsError> {
         let mut list = self.histograms.lock().unwrap();
         if let Some((_, h)) = list.iter().find(|(n, _)| n == name) {
-            return Arc::clone(h);
+            return Ok(Arc::clone(h));
         }
+        validate_bounds(name, bounds)?;
         let h = Arc::new(Histogram::new(bounds));
         list.push((name.to_string(), Arc::clone(&h)));
-        h
+        Ok(h)
     }
 
     /// Serializable snapshot of every instrument, sorted by name.
@@ -278,6 +350,107 @@ mod tests {
         assert_eq!(hs.counts, vec![1, 1, 1]);
         assert_eq!(hs.count, 3);
         assert!((hs.sum - 55.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_round_trips_negative_and_subnormal_values_through_the_bit_cast() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("g");
+        // Negative values: the sign bit must survive the u64 transmutation.
+        g.set(-273.15);
+        assert_eq!(g.get(), -273.15);
+        assert_eq!(g.get().to_bits(), (-273.15f64).to_bits());
+        // Negative zero is a distinct bit pattern from +0.0.
+        g.set(-0.0);
+        assert_eq!(g.get().to_bits(), (-0.0f64).to_bits());
+        // Subnormals: the smallest positive f64 (5e-324) and a negative
+        // subnormal — exponent bits all zero, mantissa non-zero.
+        let tiny = f64::from_bits(1);
+        assert!(tiny > 0.0 && !tiny.is_normal());
+        g.set(tiny);
+        assert_eq!(g.get().to_bits(), 1);
+        let neg_sub = f64::from_bits((1u64 << 63) | 0xFFF);
+        assert!(neg_sub < 0.0 && !neg_sub.is_normal());
+        g.set(neg_sub);
+        assert_eq!(g.get().to_bits(), neg_sub.to_bits());
+        // NaN payload bits survive too (get() returns *some* NaN with the
+        // exact stored bits).
+        g.set(f64::NAN);
+        assert!(g.get().is_nan());
+    }
+
+    #[test]
+    fn concurrent_counter_adds_under_the_pool_lose_no_increments() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("pool.hits");
+        const PARTICIPANTS: usize = 8;
+        const ADDS_PER_PARTICIPANT: u64 = 10_000;
+        gfl_parallel::region(PARTICIPANTS, |p| {
+            for i in 0..ADDS_PER_PARTICIPANT {
+                // Mix inc() and add() so both entry points are exercised.
+                if i % 2 == 0 {
+                    c.inc();
+                } else {
+                    c.add(1 + (p as u64 % 2));
+                }
+            }
+        });
+        // Participant p adds 10k/2 ones plus 10k/2 of (1 + p%2):
+        let expected: u64 = (0..PARTICIPANTS as u64)
+            .map(|p| ADDS_PER_PARTICIPANT / 2 + (ADDS_PER_PARTICIPANT / 2) * (1 + p % 2))
+            .sum();
+        assert_eq!(c.get(), expected);
+    }
+
+    #[test]
+    fn try_histogram_rejects_malformed_bounds_with_typed_errors() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(
+            reg.try_histogram("empty", &[]).unwrap_err(),
+            MetricsError::EmptyBounds {
+                name: "empty".into()
+            }
+        );
+        assert_eq!(
+            reg.try_histogram("nan", &[1.0, f64::NAN]).unwrap_err(),
+            MetricsError::NonFiniteBound {
+                name: "nan".into(),
+                index: 1
+            }
+        );
+        assert_eq!(
+            reg.try_histogram("inf", &[f64::INFINITY, 2.0]).unwrap_err(),
+            MetricsError::NonFiniteBound {
+                name: "inf".into(),
+                index: 0
+            }
+        );
+        assert_eq!(
+            reg.try_histogram("unsorted", &[1.0, 3.0, 2.0]).unwrap_err(),
+            MetricsError::UnsortedBounds {
+                name: "unsorted".into(),
+                index: 1
+            }
+        );
+        assert_eq!(
+            reg.try_histogram("dup", &[1.0, 1.0]).unwrap_err(),
+            MetricsError::UnsortedBounds {
+                name: "dup".into(),
+                index: 0
+            }
+        );
+        // A rejected registration leaves nothing behind: the snapshot is
+        // empty and a later valid registration under the same name works.
+        assert!(reg.snapshot().histograms.is_empty());
+        assert!(reg.try_histogram("empty", &[1.0, 2.0]).is_ok());
+        // Registered names skip re-validation (bounds are ignored).
+        assert!(reg.try_histogram("empty", &[]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_panics_on_malformed_bounds() {
+        MetricsRegistry::new().histogram("bad", &[2.0, 1.0]);
     }
 
     #[test]

@@ -74,7 +74,7 @@ impl SpanKind {
 }
 
 /// One recorded span. Timestamps are nanoseconds since collector creation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SpanRecord {
     pub kind: SpanKind,
     pub start_ns: u64,
@@ -87,6 +87,42 @@ pub struct SpanRecord {
     pub group: Option<u64>,
     /// Client id, for `client_step` spans.
     pub client: Option<u64>,
+    /// Bytes moved by this span, for `comm`/`upload_retry` spans (schema
+    /// v2; absent in v1 traces).
+    pub bytes: Option<u64>,
+}
+
+/// The total order [`SpanRecord::sort_key`] sorts by: timestamps first,
+/// then every identity attribute.
+pub type SpanSortKey = (
+    u64,
+    u64,
+    u8,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+);
+
+impl SpanRecord {
+    /// Total order used everywhere spans are merged: timestamps first, then
+    /// every identity attribute. Two spans with identical timings from
+    /// different workers (possible on coarse clocks) still land in one
+    /// deterministic order, so streamed shard merges and the in-memory
+    /// sort agree byte-for-byte.
+    pub fn sort_key(&self) -> SpanSortKey {
+        (
+            self.start_ns,
+            self.dur_ns,
+            self.kind as u8,
+            self.round,
+            self.group_round,
+            self.group,
+            self.client,
+            self.bytes,
+        )
+    }
 }
 
 /// Optional attributes attached to a span (all default to `None`).
@@ -96,6 +132,7 @@ pub struct SpanAttrs {
     pub group_round: Option<u64>,
     pub group: Option<u64>,
     pub client: Option<u64>,
+    pub bytes: Option<u64>,
 }
 
 impl SpanAttrs {
@@ -132,7 +169,14 @@ impl SpanAttrs {
             group_round: Some(k as u64),
             group: Some(group as u64),
             client: Some(client as u64),
+            bytes: None,
         }
+    }
+
+    /// Attaches a byte count (wire traffic the span accounts for).
+    pub fn with_bytes(mut self, bytes: u64) -> Self {
+        self.bytes = Some(bytes);
+        self
     }
 }
 
@@ -159,10 +203,32 @@ mod tests {
             group_round: Some(1),
             group: Some(2),
             client: Some(40),
+            bytes: Some(4096),
         };
         let json = serde_json::to_string(&rec).unwrap();
         let back: SpanRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn sort_key_breaks_timestamp_ties_by_identity() {
+        let base = SpanRecord {
+            kind: SpanKind::ClientStep,
+            start_ns: 10,
+            dur_ns: 5,
+            round: Some(0),
+            group_round: Some(0),
+            group: Some(0),
+            client: Some(3),
+            bytes: None,
+        };
+        let other = SpanRecord {
+            client: Some(1),
+            ..base
+        };
+        // Identical timings, different clients: the key still orders them.
+        assert!(other.sort_key() < base.sort_key());
+        assert_eq!(base.sort_key(), base.sort_key());
     }
 
     #[test]

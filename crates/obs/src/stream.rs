@@ -1,0 +1,113 @@
+//! Streaming JSONL trace sink: bounded-memory span collection.
+//!
+//! The in-memory collector keeps every span until `finish()`; at a million
+//! clients that is O(all spans) of heap and a trace that dies with the
+//! process. The streaming sink instead receives spans at deterministic
+//! *barriers* — round boundaries, where the engine records its
+//! [`crate::RoundMetrics`] — and appends them to the file ahead of the
+//! round record, already in [`crate::span::SpanRecord::sort_key`] order.
+//! The meta line is written at construction and the writer is flushed on a
+//! configurable round cadence, so a crash loses at most the rounds since
+//! the last flush, and the surviving prefix parses (the reader reports a
+//! cut final line as [`crate::trace::TraceError::Truncated`]).
+//!
+//! Because barriers replay the canonical layout of
+//! [`crate::Trace::write_jsonl`], a streamed file is **byte-identical** to
+//! serializing the equivalent in-memory trace of the same run — asserted
+//! end-to-end by the golden/determinism suites in `gfl-core`.
+
+use std::io::{BufWriter, Write};
+use std::sync::Mutex;
+
+use crate::span::SpanRecord;
+use crate::trace::{tagged_line, RoundMetrics, RunSummary, TraceMeta};
+
+/// Tuning for a streaming collector.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Maximum spans buffered in memory across all shards. When a shard's
+    /// slice of the budget fills mid-round, it spills straight to the
+    /// writer (out of barrier order, still schema-valid). Rounded up to at
+    /// least one span per shard; see
+    /// [`crate::TraceCollector::span_buffer_bound`] for the effective
+    /// bound.
+    pub span_buffer_cap: usize,
+    /// Flush the writer every N round barriers (crash-safety cadence).
+    /// `1` (the default) flushes every round; `0` only flushes at finish.
+    pub flush_every_rounds: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            span_buffer_cap: 65_536,
+            flush_every_rounds: 1,
+        }
+    }
+}
+
+struct SinkState {
+    w: BufWriter<Box<dyn Write + Send>>,
+    rounds_since_flush: u64,
+}
+
+/// Serializes barrier flushes into one writer. All writes panic on I/O
+/// failure: a trace sink that stops accepting bytes mid-run has no
+/// recovery path, and silently dropping telemetry would defeat the point.
+pub(crate) struct StreamSink {
+    state: Mutex<SinkState>,
+    flush_every_rounds: u64,
+}
+
+impl StreamSink {
+    /// Wraps `writer` and immediately writes (and flushes) the meta line,
+    /// so even a run that crashes in round 0 leaves a parseable header.
+    pub(crate) fn new(writer: Box<dyn Write + Send>, meta: &TraceMeta, cfg: &StreamConfig) -> Self {
+        let mut w = BufWriter::new(writer);
+        writeln!(w, "{}", tagged_line("meta", meta)).expect("trace stream: write meta");
+        w.flush().expect("trace stream: flush meta");
+        StreamSink {
+            state: Mutex::new(SinkState {
+                w,
+                rounds_since_flush: 0,
+            }),
+            flush_every_rounds: cfg.flush_every_rounds,
+        }
+    }
+
+    /// Appends already-sorted spans (overflow spill path — no round record
+    /// follows).
+    pub(crate) fn write_spans(&self, spans: &[SpanRecord]) {
+        let mut state = self.state.lock().unwrap();
+        for s in spans {
+            writeln!(state.w, "{}", tagged_line("span", s)).expect("trace stream: write span");
+        }
+    }
+
+    /// One round barrier: the round's sorted spans, then its record, then
+    /// a flush if the cadence says so.
+    pub(crate) fn write_round(&self, spans: &[SpanRecord], round: &RoundMetrics) {
+        let mut state = self.state.lock().unwrap();
+        for s in spans {
+            writeln!(state.w, "{}", tagged_line("span", s)).expect("trace stream: write span");
+        }
+        writeln!(state.w, "{}", tagged_line("round", round)).expect("trace stream: write round");
+        state.rounds_since_flush += 1;
+        if self.flush_every_rounds > 0 && state.rounds_since_flush >= self.flush_every_rounds {
+            state.w.flush().expect("trace stream: flush");
+            state.rounds_since_flush = 0;
+        }
+    }
+
+    /// End of run: trailing spans that belong to no barrier, the summary
+    /// line, and a final flush.
+    pub(crate) fn finalize(&self, trailing: &[SpanRecord], summary: &RunSummary) {
+        let mut state = self.state.lock().unwrap();
+        for s in trailing {
+            writeln!(state.w, "{}", tagged_line("span", s)).expect("trace stream: write span");
+        }
+        writeln!(state.w, "{}", tagged_line("summary", summary))
+            .expect("trace stream: write summary");
+        state.w.flush().expect("trace stream: final flush");
+    }
+}

@@ -4,11 +4,21 @@
 //! `type` field; the first line is always the `meta` record:
 //!
 //! ```text
-//! {"type":"meta","schema_version":1,"producer":"gfl-obs 0.1.0","threads":8}
-//! {"type":"span","kind":"Round","start_ns":...,"dur_ns":...,...}
-//! {"type":"round","round":0,"train_ns":...,"aggregate_ns":...,...}
+//! {"type":"meta","schema_version":2,"producer":"gfl-obs 0.1.0","threads":8}
+//! {"type":"span","kind":"Round","start_ns":...,"dur_ns":...,"bytes":...}
+//! {"type":"round","round":0,"train_ns":...,"client_edge_bytes":...,...}
 //! {"type":"summary","wall_ns":...,"rounds":...,"span_totals":[...],...}
 //! ```
+//!
+//! ## Schema v2: streaming barrier layout and byte accounting
+//!
+//! v2 traces are written in *barrier order*: each round's spans (sorted by
+//! [`SpanRecord::sort_key`]) immediately precede that round's `round`
+//! record, because the streaming collector flushes its shard buffers at
+//! exactly that boundary. Spans belonging to no recorded round trail the
+//! last round, before the `summary`. v2 also adds wire-byte accounting:
+//! `bytes` on spans and `client_edge_bytes` / `edge_cloud_bytes` on round
+//! records — all optional, so v1 traces (which lack them) still parse.
 //!
 //! Readers must ignore unknown record types and unknown fields (forward
 //! compatibility); writers bump [`SCHEMA_VERSION`] on breaking changes.
@@ -22,7 +32,16 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 /// Version of the JSONL schema emitted by this crate.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Schema versions [`TraceReader`] accepts: v1 (buffered, no byte fields)
+/// parses because every v2 addition is optional.
+pub const SUPPORTED_VERSIONS: [u32; 2] = [1, 2];
+
+/// The `producer` string this build stamps into trace meta lines.
+pub(crate) fn producer() -> String {
+    format!("gfl-obs {}", env!("CARGO_PKG_VERSION"))
+}
 
 /// First line of every trace file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,6 +92,12 @@ pub struct RoundMetrics {
     /// Heap allocations during this round (0 unless a counting allocator is
     /// registered via [`crate::alloc::register_alloc_counter`]).
     pub allocs: u64,
+    /// Simulated client↔edge wire bytes this round (schema v2; `None` in
+    /// v1 traces and on paths that do not model communication).
+    pub client_edge_bytes: Option<u64>,
+    /// Simulated edge↔cloud wire bytes this round, including failed upload
+    /// attempts (schema v2).
+    pub edge_cloud_bytes: Option<u64>,
 }
 
 impl RoundMetrics {
@@ -94,6 +119,8 @@ impl RoundMetrics {
             pool_steals: 0,
             pool_utilization: 0.0,
             allocs: 0,
+            client_edge_bytes: None,
+            edge_cloud_bytes: None,
         }
     }
 
@@ -132,28 +159,16 @@ pub struct RunSummary {
     pub metrics: MetricsSnapshot,
 }
 
-/// Computes the [`RunSummary`] for a finished run.
-pub(crate) fn summarize(
+/// Computes the [`RunSummary`] from per-kind totals already accumulated —
+/// the streaming collector's path, where the spans themselves are long
+/// gone to disk. `span_totals` must be in [`SpanKind::ALL`] order with
+/// zero-count kinds omitted (what [`span_totals_of`] produces).
+pub(crate) fn summarize_with_totals(
     wall_ns: u64,
-    spans: &[SpanRecord],
+    span_totals: Vec<SpanTotal>,
     rounds: &[RoundMetrics],
     metrics: MetricsSnapshot,
 ) -> RunSummary {
-    let mut span_totals = Vec::new();
-    for kind in SpanKind::ALL {
-        let (mut count, mut total_ns) = (0u64, 0u64);
-        for s in spans.iter().filter(|s| s.kind == kind) {
-            count += 1;
-            total_ns += s.dur_ns;
-        }
-        if count > 0 {
-            span_totals.push(SpanTotal {
-                kind,
-                count,
-                total_ns,
-            });
-        }
-    }
     let (covered, wall): (u64, u64) = rounds.iter().fold((0, 0), |(c, w), r| {
         (
             c + r.train_ns + r.aggregate_ns + r.comm_ns + r.eval_ns,
@@ -174,6 +189,54 @@ pub(crate) fn summarize(
     }
 }
 
+/// Per-kind span totals in [`SpanKind::ALL`] order, zero-count kinds
+/// omitted. Useful for re-deriving summary aggregates from a parsed trace
+/// (e.g. the `gfl-trace summarize` command).
+pub fn span_totals_of(spans: &[SpanRecord]) -> Vec<SpanTotal> {
+    let mut span_totals = Vec::new();
+    for kind in SpanKind::ALL {
+        let (mut count, mut total_ns) = (0u64, 0u64);
+        for s in spans.iter().filter(|s| s.kind == kind) {
+            count += 1;
+            total_ns += s.dur_ns;
+        }
+        if count > 0 {
+            span_totals.push(SpanTotal {
+                kind,
+                count,
+                total_ns,
+            });
+        }
+    }
+    span_totals
+}
+
+/// Reorders `spans` into the canonical v2 barrier layout: for each entry of
+/// `rounds` (in recorded order), that round's spans sorted by
+/// [`SpanRecord::sort_key`]; spans matching no recorded round trail, also
+/// sorted. This is exactly the order the streaming collector writes spans
+/// to disk in, so an in-memory trace serializes byte-identically to a
+/// streamed one.
+pub(crate) fn canonical_order(spans: &mut Vec<SpanRecord>, rounds: &[RoundMetrics]) {
+    let mut out = Vec::with_capacity(spans.len());
+    let mut scratch: Vec<SpanRecord> = Vec::new();
+    for r in rounds {
+        let mut i = 0;
+        while i < spans.len() {
+            if spans[i].round == Some(r.round) {
+                scratch.push(spans.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        scratch.sort_by_key(|s| s.sort_key());
+        out.append(&mut scratch);
+    }
+    spans.sort_by_key(|s| s.sort_key());
+    out.append(spans);
+    *spans = out;
+}
+
 /// A complete trace: what [`crate::TraceCollector::finish`] produces and
 /// what [`TraceReader`] parses back.
 #[derive(Debug, Clone, PartialEq)]
@@ -185,15 +248,28 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Serializes the trace as JSONL into `w` (buffered internally).
+    /// Serializes the trace as JSONL into `w` (buffered internally), in the
+    /// canonical v2 barrier layout: each round's spans (sorted by
+    /// [`SpanRecord::sort_key`]) immediately before that round's record,
+    /// unmatched spans after the last round, then the summary. The
+    /// streaming collector emits this exact byte sequence incrementally, so
+    /// a streamed file and an in-memory trace of the same run compare
+    /// equal byte-for-byte.
     pub fn write_jsonl<W: Write>(&self, w: W) -> std::io::Result<()> {
         let mut w = BufWriter::new(w);
         writeln!(w, "{}", tagged_line("meta", &self.meta))?;
-        for span in &self.spans {
-            writeln!(w, "{}", tagged_line("span", span))?;
-        }
+        let mut ordered = self.spans.clone();
+        canonical_order(&mut ordered, &self.rounds);
+        let mut next = 0usize;
         for round in &self.rounds {
+            while next < ordered.len() && ordered[next].round == Some(round.round) {
+                writeln!(w, "{}", tagged_line("span", &ordered[next]))?;
+                next += 1;
+            }
             writeln!(w, "{}", tagged_line("round", round))?;
+        }
+        for span in &ordered[next..] {
+            writeln!(w, "{}", tagged_line("span", span))?;
         }
         if let Some(summary) = &self.summary {
             writeln!(w, "{}", tagged_line("summary", summary))?;
@@ -246,7 +322,7 @@ impl Trace {
 }
 
 /// Serializes `record` and injects `"type": tag` as the first field.
-fn tagged_line<T: Serialize>(tag: &str, record: &T) -> String {
+pub(crate) fn tagged_line<T: Serialize>(tag: &str, record: &T) -> String {
     let value = serde_json::to_value(record).expect("trace records are serializable");
     let mut fields = vec![("type".to_string(), Value::String(tag.to_string()))];
     match value {
@@ -266,6 +342,14 @@ pub enum TraceError {
         line: usize,
         message: String,
     },
+    /// The final line of the file is cut off mid-record (no trailing
+    /// newline and invalid JSON) — the signature of a crashed or still
+    /// running writer. Distinguished from [`TraceError::Malformed`] so
+    /// crash-recovery tooling can treat the prefix as salvageable.
+    Truncated {
+        line: usize,
+        message: String,
+    },
     /// The first line is not a `meta` record.
     MissingMeta,
     /// The trace was written by an incompatible schema version.
@@ -279,11 +363,14 @@ impl fmt::Display for TraceError {
             TraceError::Malformed { line, message } => {
                 write!(f, "malformed trace line {line}: {message}")
             }
+            TraceError::Truncated { line, message } => {
+                write!(f, "trace truncated mid-record at line {line}: {message}")
+            }
             TraceError::MissingMeta => write!(f, "trace does not start with a meta record"),
             TraceError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported trace schema version {v} (reader supports {SCHEMA_VERSION})"
+                    "unsupported trace schema version {v} (reader supports {SUPPORTED_VERSIONS:?})"
                 )
             }
         }
@@ -310,14 +397,29 @@ impl TraceReader {
     }
 
     /// Parses a JSONL trace from a string.
+    ///
+    /// A final line cut off mid-record (invalid JSON with no trailing
+    /// newline) is reported as [`TraceError::Truncated`] with its line
+    /// number; malformed interior lines as [`TraceError::Malformed`].
     pub fn parse(text: &str) -> Result<Trace, TraceError> {
+        // A complete JSONL file ends in a newline; a last line without one
+        // that also fails to parse was cut off mid-write.
+        let last_line_complete = text.ends_with('\n');
+        let total_lines = text.lines().count();
+        let classify = |no: usize, message: String| {
+            if no == total_lines && !last_line_complete {
+                TraceError::Truncated { line: no, message }
+            } else {
+                TraceError::Malformed { line: no, message }
+            }
+        };
         let mut lines = text
             .lines()
             .enumerate()
             .filter(|(_, l)| !l.trim().is_empty());
         let (first_no, first) = lines.next().ok_or(TraceError::MissingMeta)?;
         let meta: TraceMeta = parse_record(first_no + 1, first, "meta")?;
-        if meta.schema_version != SCHEMA_VERSION {
+        if !SUPPORTED_VERSIONS.contains(&meta.schema_version) {
             return Err(TraceError::UnsupportedVersion(meta.schema_version));
         }
         let mut trace = Trace {
@@ -328,10 +430,8 @@ impl TraceReader {
         };
         for (no, line) in lines {
             let no = no + 1;
-            let value: Value = serde_json::from_str(line).map_err(|e| TraceError::Malformed {
-                line: no,
-                message: e.to_string(),
-            })?;
+            let value: Value =
+                serde_json::from_str(line).map_err(|e| classify(no, e.to_string()))?;
             let kind =
                 value
                     .get("type")
@@ -436,6 +536,80 @@ mod tests {
             TraceReader::parse(wrong),
             Err(TraceError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn reader_accepts_v1_traces_with_missing_byte_fields() {
+        // A trace written by the v1 (pre-byte-accounting) writer: no
+        // `bytes` on spans, no `client_edge_bytes`/`edge_cloud_bytes` on
+        // rounds. All v2 additions are optional, so it must still parse.
+        let v1 = concat!(
+            "{\"type\":\"meta\",\"schema_version\":1,\"producer\":\"gfl-obs 0.1.0\",\"threads\":2}\n",
+            "{\"type\":\"span\",\"kind\":\"Round\",\"start_ns\":0,\"dur_ns\":100,\"round\":0,\
+             \"group_round\":null,\"group\":null,\"client\":null}\n",
+            "{\"type\":\"round\",\"round\":0,\"wall_ns\":100,\"train_ns\":80,\"aggregate_ns\":15,\
+             \"comm_ns\":0,\"eval_ns\":5,\"groups_trained\":2,\"clients_trained\":8,\
+             \"fault_events\":0,\"cost_total\":1.5,\"pool_regions\":1,\"pool_claims\":8,\
+             \"pool_steals\":3,\"pool_utilization\":0.9,\"allocs\":12}\n",
+        );
+        let back = TraceReader::parse(v1).expect("v1 traces still parse");
+        assert_eq!(back.meta.schema_version, 1);
+        assert_eq!(back.spans[0].bytes, None);
+        assert_eq!(back.rounds[0].client_edge_bytes, None);
+        assert_eq!(back.rounds[0].edge_cloud_bytes, None);
+    }
+
+    #[test]
+    fn mid_line_truncation_is_a_typed_error_with_the_line_number() {
+        let trace = sample_trace();
+        let text = trace.to_jsonl();
+        // Cut the file mid-way through its 3rd line (a span or round
+        // record), like a crashed writer would leave it.
+        let line_starts: Vec<usize> = std::iter::once(0)
+            .chain(text.match_indices('\n').map(|(i, _)| i + 1))
+            .collect();
+        let cut = line_starts[2] + 25;
+        let truncated = &text[..cut];
+        assert!(!truncated.ends_with('\n'));
+        match TraceReader::parse(truncated) {
+            Err(TraceError::Truncated { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Truncated error, got {other:?}"),
+        }
+        // The same broken JSON *inside* the file (newline follows) is
+        // corruption, not truncation.
+        let mut corrupt = String::from(truncated);
+        corrupt.push('\n');
+        corrupt.push_str(&text[line_starts[3]..]);
+        match TraceReader::parse(&corrupt) {
+            Err(TraceError::Malformed { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected Malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn jsonl_layout_interleaves_round_spans_before_their_round_record() {
+        let c = TraceCollector::new();
+        for t in 0..2usize {
+            let t0 = c.now_ns();
+            c.record_span_at(SpanKind::Train, t0, t0 + 10, SpanAttrs::round(t));
+            c.record_span_at(SpanKind::Round, t0, t0 + 12, SpanAttrs::round(t));
+            c.record_round(RoundMetrics::empty(t));
+        }
+        let text = c.finish(1).to_jsonl();
+        let types: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let v: Value = serde_json::from_str(l).unwrap();
+                let ty = v.get("type").and_then(Value::as_str).unwrap().to_string();
+                let round = v.get("round").and_then(Value::as_u64);
+                format!("{ty}{}", round.map(|r| r.to_string()).unwrap_or_default())
+            })
+            .collect();
+        assert_eq!(
+            types,
+            ["meta", "span0", "span0", "round0", "span1", "span1", "round1", "summary"],
+            "full layout: {text}"
+        );
     }
 
     #[test]

@@ -33,6 +33,18 @@ use parking_lot::{Condvar, Mutex};
 
 thread_local! {
     static IN_REGION: Cell<bool> = const { Cell::new(false) };
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Returns the stable pool index of the current thread when it is a
+/// fork-pool worker (`Some(0..MAX_WORKERS)`), or `None` on any other thread
+/// (including region callers, who participate as index 0 of the *region*
+/// but are not pool workers).
+///
+/// Consumers can use this as a cheap, contention-free shard key: workers
+/// keep their index for the life of the process.
+pub fn worker_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
 }
 
 /// Returns true when the current thread is already executing inside a
@@ -143,7 +155,10 @@ impl ForkPool {
             let rx = self.rx.clone();
             std::thread::Builder::new()
                 .name(format!("gfl-fork-{id}"))
-                .spawn(move || worker_loop(rx))
+                .spawn(move || {
+                    WORKER_INDEX.with(|c| c.set(Some(id)));
+                    worker_loop(rx)
+                })
                 .expect("failed to spawn fork-pool worker");
             *spawned += 1;
         }
@@ -295,6 +310,31 @@ mod tests {
             total.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(total.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn worker_index_is_stable_per_worker_and_none_on_the_caller() {
+        let seen = Mutex::new(Vec::new());
+        region(4, |p| {
+            let idx = worker_index();
+            if p == 0 {
+                // The calling thread is a region participant, not a pool
+                // worker — unless this test thread happens to *be* a pool
+                // worker, which it is not.
+                assert_eq!(idx, None);
+            } else {
+                let idx = idx.expect("pool workers must report an index");
+                assert!(idx < MAX_WORKERS);
+                seen.lock().push(idx);
+            }
+        });
+        // All three helper jobs ran on pool workers (a fast worker may
+        // take more than one job, so distinct indices are 1..=3).
+        let mut indices = seen.lock().clone();
+        assert_eq!(indices.len(), 3);
+        indices.sort_unstable();
+        indices.dedup();
+        assert!((1..=3).contains(&indices.len()));
     }
 
     #[test]

@@ -27,7 +27,7 @@ mod pool;
 mod scope;
 pub mod stats;
 
-pub use fork::{in_region, region};
+pub use fork::{in_region, region, worker_index};
 pub use pool::ThreadPool;
 pub use scope::{
     par_for_each_init, par_for_each_mut, par_map, par_map_init, par_map_with, par_reduce, Chunking,

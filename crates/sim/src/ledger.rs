@@ -38,6 +38,12 @@ pub struct CostLedger {
     breakdown: CostBreakdown,
     /// Total after each completed global round (for accuracy-vs-cost plots).
     round_totals: Vec<f64>,
+    /// Bytes moved on client↔edge links (model downloads plus client
+    /// uploads within groups), from `CommModel::client_bytes_per_round`.
+    client_edge_bytes: u64,
+    /// Bytes moved on edge↔cloud links (group uploads including retry
+    /// retransmissions, plus broadcast downloads).
+    edge_cloud_bytes: u64,
 }
 
 impl CostLedger {
@@ -49,6 +55,8 @@ impl CostLedger {
             ops,
             breakdown: CostBreakdown::default(),
             round_totals: Vec::new(),
+            client_edge_bytes: 0,
+            edge_cloud_bytes: 0,
         }
     }
 
@@ -81,6 +89,27 @@ impl CostLedger {
     /// running a real defense shows up in the emulated round time.
     pub fn charge_defense(&mut self, similarity_evals: u64, norm_passes: u64) {
         self.breakdown.defense += self.model.defense_seconds(similarity_evals, norm_passes);
+    }
+
+    /// Charges bytes moved on client↔edge links (in-group traffic).
+    pub fn charge_client_edge_bytes(&mut self, bytes: u64) {
+        self.client_edge_bytes += bytes;
+    }
+
+    /// Charges bytes moved on edge↔cloud links (group↔server traffic,
+    /// including retransmissions of failed uploads).
+    pub fn charge_edge_cloud_bytes(&mut self, bytes: u64) {
+        self.edge_cloud_bytes += bytes;
+    }
+
+    /// Cumulative client↔edge bytes charged so far.
+    pub fn client_edge_bytes(&self) -> u64 {
+        self.client_edge_bytes
+    }
+
+    /// Cumulative edge↔cloud bytes charged so far.
+    pub fn edge_cloud_bytes(&self) -> u64 {
+        self.edge_cloud_bytes
     }
 
     /// Marks the end of a global round, snapshotting the running total.
@@ -187,6 +216,24 @@ mod tests {
             CostModel::for_task(Task::Vision).defense_seconds(120, 32)
                 > CostModel::for_task(Task::Speech).defense_seconds(120, 32)
         );
+    }
+
+    #[test]
+    fn byte_charges_accumulate_per_link_and_do_not_move_the_cost_total() {
+        let mut ledger = CostLedger::new(
+            CostModel::for_task(Task::Vision),
+            vec![GroupOpKind::SecureAggregation],
+        );
+        ledger.charge_group(&[10, 20], 2, 1);
+        let total_before = ledger.total();
+        ledger.charge_client_edge_bytes(4_096);
+        ledger.charge_client_edge_bytes(1_024);
+        ledger.charge_edge_cloud_bytes(512);
+        assert_eq!(ledger.client_edge_bytes(), 5_120);
+        assert_eq!(ledger.edge_cloud_bytes(), 512);
+        // Byte accounting is bookkeeping, not emulated time: Eq. 5 cost is
+        // untouched.
+        assert_eq!(ledger.total(), total_before);
     }
 
     #[test]

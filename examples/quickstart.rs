@@ -8,9 +8,11 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Set `GFL_TRACE_OUT=run.jsonl` to also record a JSONL run trace
-//! through `gfl-obs` (see docs/OBSERVABILITY.md); the example validates
-//! the written trace by reading it back. Tracing never changes results.
+//! Set `GFL_TRACE_OUT=run.jsonl` to also stream a JSONL run trace through
+//! `gfl-obs` (see docs/OBSERVABILITY.md); spans are flushed to disk at
+//! every round barrier, and the example validates the written trace by
+//! reading it back. Analyze it afterwards with `gfl-trace summarize
+//! run.jsonl`. Tracing never changes results.
 
 use gfl_core::prelude::*;
 use gfl_core::sampling::AggregationWeighting;
@@ -71,7 +73,16 @@ fn main() {
     let rounds = config.global_rounds;
     let mut trainer = Trainer::new(config, gfl_nn::zoo::vision_model(), train, partition, test);
     let trace_out = std::env::var("GFL_TRACE_OUT").ok();
-    let observer = trace_out.as_ref().map(|_| gfl_obs::TraceCollector::new());
+    let observer = trace_out.as_ref().map(|path| {
+        // Streaming mode: spans hit the file at every round barrier, so
+        // memory stays bounded and a crash loses at most the tail round.
+        gfl_obs::TraceCollector::streaming_to(
+            std::path::Path::new(path),
+            gfl_parallel::default_parallelism(),
+            gfl_obs::StreamConfig::default(),
+        )
+        .expect("open trace sink")
+    });
     if let Some(obs) = &observer {
         trainer = trainer.with_observer(std::sync::Arc::clone(obs));
     }
@@ -88,12 +99,12 @@ fn main() {
         "quickstart should learn something"
     );
 
-    // 5. Optional: write the run trace and validate it against the schema
-    //    by round-tripping it through the reader.
+    // 5. Optional: finalize the streamed trace and validate it against the
+    //    schema by reading it back (analyze it with `gfl-trace summarize`).
     if let (Some(path), Some(obs)) = (trace_out, observer) {
-        let trace = obs.finish(gfl_parallel::default_parallelism());
-        trace.save(&path).expect("write trace");
-        let back = gfl_obs::TraceReader::read(&path).expect("trace must parse against the schema");
+        obs.finish(gfl_parallel::default_parallelism());
+        let back = gfl_obs::TraceReader::read(std::path::Path::new(&path))
+            .expect("trace must parse against the schema");
         assert_eq!(back.rounds.len(), rounds, "one round record per round");
         assert_eq!(back.meta.schema_version, gfl_obs::SCHEMA_VERSION);
         println!(
