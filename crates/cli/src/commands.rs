@@ -7,7 +7,8 @@ use gfl_core::checkpoint::Checkpoint;
 use gfl_core::cov::{group_cov, mean_group_cov};
 use gfl_core::engine::{form_groups_per_edge, GroupFelConfig, RobustAggRule, Trainer};
 use gfl_core::grouping::{
-    CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping, VarianceGrouping,
+    CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping, StreamGrouping,
+    VarianceGrouping,
 };
 use gfl_core::history::RunHistory;
 use gfl_core::local::{FedAvg, LocalUpdate};
@@ -16,7 +17,9 @@ use gfl_core::sampling::{AggregationWeighting, SamplingStrategy};
 use gfl_core::semi_async::{AsyncConfig, AsyncReport, SchedulerState, StalenessPolicy};
 use gfl_core::theory::{self, TheoremInputs};
 use gfl_core::Group;
-use gfl_data::{ClientPartition, Dataset, PartitionSpec, SyntheticSpec};
+use gfl_data::{
+    ClientPartition, Dataset, PartitionSpec, SyntheticSpec, VirtualPopulation, VirtualSpec,
+};
 use gfl_faults::{AdversaryPlan, ChurnPlan, FaultPlan, FaultPolicy, OutageWindow};
 use gfl_nn::sgd::LrSchedule;
 use gfl_nn::Params;
@@ -69,12 +72,16 @@ DATA (synthetic unless --data is given):
   --alpha F          Dirichlet concentration            [0.1]
   --clients N        number of clients                  [90]
   --edges N          number of edge servers             [3]
+  --virtual          derive client shards on demand from (seed, id):
+                     memory stays O(sampled clients), so --clients scales
+                     to 10^6 and beyond (docs/SCALE.md); excludes --data
+                     and --method scaffold
 
 GROUPING & SAMPLING:
-  --grouping covg|rg|cdg|kldg|varg                      [covg]
+  --grouping covg|rg|cdg|kldg|varg|stream               [covg]
   --min-gs N         minimum group size                 [5]
   --max-cov F        CoV target (covg)                  [0.5]
-  --group-size N     target size (rg/cdg/kldg)          [6]
+  --group-size N     target size (rg/cdg/kldg/stream)   [6]
   --sampling random|rcov|srcov|esrcov                   [esrcov]
   --weighting standard|unbiased|stabilized              [standard]
 
@@ -92,6 +99,8 @@ TRAINING:
 
 RUNTIME (deterministic semi-async rounds; see docs/ASYNC.md):
   --runtime sync|semi-async   round engine               [sync]
+                     composes with --churn: membership heals on the round
+                     boundary and resets in-flight edge state
   --staleness-policy drop|weighted   late-upload policy  [drop]
   --staleness-decay F  weighted-staleness damping        [1.0]
   --cloud-deadline F   cloud close factor (0 = wait-all) [0]
@@ -160,31 +169,72 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let effective_threads = gfl_parallel::default_parallelism();
 
     // --- data ---
-    let dataset = load_or_generate(&args, task, seed)?;
-    let (train, test) = dataset.split_holdout(6);
     let clients: usize = args.get("clients", 90, "int")?;
     let edges: usize = args.get("edges", 3, "int")?;
     let alpha: f64 = args.get("alpha", 0.1, "float")?;
-    let partition = ClientPartition::dirichlet(
-        &train,
-        &PartitionSpec {
+    let is_virtual = args.get_flag("virtual")?;
+    // Virtual populations derive client shards on demand (O(sampled)
+    // memory); the materialized path pools one dataset and partitions it.
+    let (population, train, partition, test) = if is_virtual {
+        if args.get_opt("data").is_some() {
+            return Err(CommandError::Invalid(
+                "--virtual derives client shards on demand from (seed, id); \
+                 a --data CSV cannot back a virtual population"
+                    .into(),
+            ));
+        }
+        let samples: usize = args.get("samples", 12_000, "int")?;
+        let spec = VirtualSpec {
+            data: match task {
+                Task::Vision => SyntheticSpec::vision_like(),
+                Task::Speech => SyntheticSpec::speech_like(),
+            },
             num_clients: clients,
             alpha,
             min_size: 20,
             max_size: 200,
             seed,
-        },
-    );
-    let topology = Topology::even_split(edges, partition.sizes());
+        };
+        let pop = VirtualPopulation::new(spec);
+        // Same holdout proportion the materialized path gets from
+        // split_holdout(6), but generated independently of any shard.
+        let test = pop.test_set((samples / 6).max(1));
+        (Some(pop), None, None, test)
+    } else {
+        let dataset = load_or_generate(&args, task, seed)?;
+        let (train, test) = dataset.split_holdout(6);
+        let partition = ClientPartition::dirichlet(
+            &train,
+            &PartitionSpec {
+                num_clients: clients,
+                alpha,
+                min_size: 20,
+                max_size: 200,
+                seed,
+            },
+        );
+        (None, Some(train), Some(partition), test)
+    };
+    let sizes: Vec<usize> = match (&population, &partition) {
+        (Some(pop), _) => (0..pop.num_clients()).map(|c| pop.client_size(c)).collect(),
+        (None, Some(part)) => part.sizes(),
+        (None, None) => unreachable!("one data representation is always built"),
+    };
+    let topology = Topology::even_split(edges, sizes.clone());
 
     // --- grouping ---
+    let label_matrix = match (&population, &partition) {
+        (Some(pop), _) => pop.label_matrix(),
+        (None, Some(part)) => &part.label_matrix,
+        (None, None) => unreachable!("one data representation is always built"),
+    };
     let grouping = parse_grouping(&args)?;
-    let groups = form_groups_per_edge(grouping.as_ref(), &topology, &partition.label_matrix, seed);
+    let groups = form_groups_per_edge(grouping.as_ref(), &topology, label_matrix, seed);
     writeln!(
         out,
         "formed {} groups (mean CoV {:.3})",
         groups.len(),
-        mean_group_cov(&partition.label_matrix, &groups)
+        mean_group_cov(label_matrix, &groups)
     )?;
 
     // --- config ---
@@ -217,15 +267,16 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
     let show_metrics = args.get_flag("metrics")?;
     let faults = parse_faults(&args, seed)?;
     let churn = parse_churn(&args, seed, config.global_rounds)?;
-    let adversary = parse_adversary(&args, seed, train.num_classes(), train.feature_dim())?;
+    let adversary = parse_adversary(&args, seed, test.num_classes(), test.feature_dim())?;
     let robust = parse_robust_agg(&args)?;
     let runtime = parse_runtime(&args)?;
     let async_csv = args.get_opt("async-csv");
     args.reject_unknown()?;
-    if runtime.is_some() && churn.is_some() {
+    if is_virtual && method == "scaffold" {
         return Err(CommandError::Invalid(
-            "--runtime semi-async cannot be combined with --churn: the \
-             scheduler has no self-healing entry point (see docs/ASYNC.md)"
+            "--method scaffold cannot be combined with --virtual: SCAFFOLD \
+             keeps O(clients × params) control-variate state, which defeats \
+             the O(sampled) memory contract of virtual populations"
                 .into(),
         ));
     }
@@ -242,11 +293,18 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
         ));
     }
 
-    // --- model: pick by feature dimensionality ---
-    let model = model_for(&train, task);
+    // --- model: pick by feature dimensionality (the holdout set has the
+    // same shape as the training data in both representations) ---
+    let model = model_for(&test, task);
     let param_count = model.param_len();
-    let mut trainer = Trainer::try_new(config.clone(), model, train, partition, test)
-        .map_err(|e| CommandError::Invalid(e.to_string()))?;
+    let mut trainer = match (population, train, partition) {
+        (Some(pop), _, _) => Trainer::try_new_virtual(config.clone(), model, pop, test),
+        (None, Some(train), Some(part)) => {
+            Trainer::try_new(config.clone(), model, train, part, test)
+        }
+        _ => unreachable!("one data representation is always built"),
+    }
+    .map_err(|e| CommandError::Invalid(e.to_string()))?;
     // Observation is one-way: attaching a collector never changes results
     // (asserted by crates/core/tests/determinism.rs). With --trace-out the
     // collector streams spans to the file at every round barrier, keeping
@@ -319,11 +377,7 @@ pub fn simulate(argv: &[String], out: &mut dyn Write) -> CmdResult {
             runtime.as_ref(),
         )?,
         "fednova" => {
-            let s = FedNova::from_sizes(
-                &trainer.partition().sizes(),
-                config.local_rounds,
-                config.batch_size,
-            );
+            let s = FedNova::from_sizes(&sizes, config.local_rounds, config.batch_size);
             run_sim(
                 &trainer,
                 churn_on,
@@ -527,6 +581,17 @@ fn run_sim<S: LocalUpdate>(
     runtime: Option<&AsyncConfig>,
 ) -> Result<SimOutput, CommandError> {
     if let Some(acfg) = runtime {
+        if churned {
+            // Online membership under the semi-async scheduler: churn and
+            // healing run on the round boundary, and any membership
+            // transition resets in-flight edge state (docs/ASYNC.md). No
+            // scheduler state is returned — a regroup would invalidate a
+            // resumed busy map anyway.
+            let (h, p, rep, m) = trainer
+                .run_semi_async_self_healing(grouping, topology, strategy, sampling, acfg)
+                .map_err(|e| CommandError::Invalid(format!("regrouping failed: {e}")))?;
+            return Ok((h, p, Some(m), Some(rep), None));
+        }
         let (h, p, rep, sched) =
             trainer.run_semi_async_with_scheduler(groups, strategy, sampling, acfg);
         Ok((h, p, None, Some(rep), Some(sched)))
@@ -748,9 +813,10 @@ fn parse_grouping(args: &Args) -> Result<Box<dyn GroupingAlgorithm>, CommandErro
             min_group_size: min_gs,
             max_variance: 60.0,
         }),
+        "stream" => Box::new(StreamGrouping { group_size }),
         other => {
             return Err(CommandError::Invalid(format!(
-                "unknown --grouping '{other}' (covg|rg|cdg|kldg|varg)"
+                "unknown --grouping '{other}' (covg|rg|cdg|kldg|varg|stream)"
             )))
         }
     })
@@ -1414,7 +1480,6 @@ mod tests {
             "--runtime semi-async --staleness-policy soggy",
             "--runtime semi-async --staleness-decay -1",
             "--runtime semi-async --cloud-deadline -2",
-            "--runtime semi-async --churn moderate",
             "--async-csv out.csv",
             "--faults moderate --quorum 1.5",
             "--faults moderate --deadline-factor -1",
@@ -1430,6 +1495,79 @@ mod tests {
                 "{flags} should be rejected as invalid"
             );
         }
+    }
+
+    #[test]
+    fn simulate_semi_async_with_churn_heals_and_reports_clock() {
+        // ROADMAP item: the previously-rejected --runtime semi-async +
+        // --churn combination now runs through the self-healing scheduler
+        // and reports both the emulated clock and the regroup log.
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 4 --k 1 --e 1 \
+             --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1 \
+             --runtime semi-async --churn moderate --churn-seed 11 \
+             --depart-frac 0.5 --arrive-frac 0.3",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("semi-async: emulated clock"), "{out}");
+        assert!(out.contains("regroups:"), "{out}");
+        assert!(out.contains("final partition:"), "{out}");
+    }
+
+    #[test]
+    fn simulate_virtual_session_runs() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--virtual --clients 24 --edges 2 --samples 900 --rounds 2 --k 1 \
+             --e 1 --sample 2 --min-gs 2 --alpha 0.5 --seed 3 --eval-every 1",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("24 clients"), "{out}");
+    }
+
+    #[test]
+    fn simulate_virtual_composes_with_stream_grouping_and_runtime() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--virtual --clients 24 --edges 2 --rounds 2 --k 1 --e 1 \
+             --sample 2 --group-size 4 --grouping stream --alpha 0.5 \
+             --seed 3 --eval-every 1 --runtime semi-async",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
+        assert!(out.contains("semi-async: emulated clock"), "{out}");
+    }
+
+    #[test]
+    fn simulate_virtual_rejects_incompatible_flags() {
+        for flags in [
+            "--virtual --data somewhere.csv",
+            "--virtual --method scaffold",
+        ] {
+            let (r, _) = run_cmd(
+                simulate,
+                &format!("--clients 8 --edges 2 --min-gs 2 {flags}"),
+            );
+            assert!(
+                matches!(r, Err(CommandError::Invalid(_))),
+                "{flags} should be rejected as invalid"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_stream_grouping_runs_on_materialized_data() {
+        let (r, out) = run_cmd(
+            simulate,
+            "--clients 8 --edges 2 --samples 900 --rounds 2 --k 1 --e 1 \
+             --sample 2 --group-size 3 --grouping stream --alpha 0.5 \
+             --seed 3 --eval-every 1",
+        );
+        r.unwrap();
+        assert!(out.contains("best accuracy"), "{out}");
     }
 
     #[test]

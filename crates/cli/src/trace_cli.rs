@@ -42,7 +42,8 @@ COMMANDS:
   flame <trace> [--clock wall|emulated]
                                    collapsed stacks for flamegraph tooling
   regress <baseline> <current> [--min-rps-ratio R] [--max-alloc-delta N]
-          [--min-gflops-ratio R]   perf-regression gate over BENCH_ROUND.json
+          [--min-gflops-ratio R] [--max-formation-seconds S]
+                                   perf-regression gate over BENCH_ROUND.json
 
 EXIT CODES:
   0  success (diff: traces agree)
@@ -502,6 +503,12 @@ fn array<'a>(v: &'a Value, key: &str) -> &'a [Value] {
 /// one side are skipped (a new tier or thread count is not a regression),
 /// and throughput is only compared on rows both sides flag `reliable`
 /// (threads ≤ physical cores).
+///
+/// Additionally, when the current snapshot carries a `scale` section
+/// (from `bench_scale`), its `formation_seconds_1m` and
+/// `regroup_seconds_1m` are gated *absolutely* against
+/// `--max-formation-seconds` (default 1.0) — the paper-scale sub-second
+/// formation claim, checked rather than asserted.
 fn regress(paths: &[String], args: &Args, out: &mut dyn Write) -> Result<i32, String> {
     let paths = expect_paths(paths, 2, "baseline and current BENCH_ROUND.json")?;
     let min_rps: f64 = args
@@ -512,6 +519,9 @@ fn regress(paths: &[String], args: &Args, out: &mut dyn Write) -> Result<i32, St
         .map_err(|e| e.to_string())?;
     let min_gflops: f64 = args
         .get("min-gflops-ratio", 0.5, "float")
+        .map_err(|e| e.to_string())?;
+    let max_formation: f64 = args
+        .get("max-formation-seconds", 1.0, "float")
         .map_err(|e| e.to_string())?;
     args.reject_unknown().map_err(|e| e.to_string())?;
 
@@ -604,6 +614,24 @@ fn regress(paths: &[String], args: &Args, out: &mut dyn Write) -> Result<i32, St
                         ),
                     );
                 }
+            }
+        }
+    }
+
+    // Absolute gate on the 10⁶-client `scale` section (bench_scale /
+    // docs/SCALE.md): group formation and one regroup tick must stay
+    // under `--max-formation-seconds` (default 1 s). The claim is
+    // absolute, so only the *current* snapshot is consulted; snapshots
+    // predating the section are skipped.
+    if let Some(scale) = current.get("scale") {
+        for key in ["formation_seconds_1m", "regroup_seconds_1m"] {
+            if let Some(cur) = num(scale, key) {
+                check(
+                    out,
+                    format!("scale.{key}"),
+                    cur <= max_formation,
+                    format!("{cur:.3}s (cap {max_formation:.3}s)"),
+                );
             }
         }
     }

@@ -168,6 +168,54 @@ fn regress_thresholds_are_tunable_from_the_command_line() {
 }
 
 #[test]
+fn regress_gates_the_scale_section_sub_second() {
+    let base = fixture("bench_baseline.json");
+    // Current = baseline + a scale section (as bench_scale merges it).
+    let with_scale = |name: &str, formation: f64, regroup: f64| {
+        let mut v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&base).unwrap()).unwrap();
+        let serde_json::Value::Object(pairs) = &mut v else {
+            panic!("fixture must be an object")
+        };
+        pairs.push((
+            "scale".to_string(),
+            serde_json::json!({
+                "clients": 1_000_000usize,
+                "formation_seconds_1m": formation,
+                "regroup_seconds_1m": regroup,
+            }),
+        ));
+        let path = tmp(name);
+        std::fs::write(&path, serde_json::to_string(&v).unwrap()).unwrap();
+        path
+    };
+
+    let fast = with_scale("bench_scale_fast.json", 0.4, 0.7);
+    let (code, out) = gfl_trace(&format!("regress {} {}", base.display(), fast.display()));
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("PASS scale.formation_seconds_1m"), "{out}");
+    assert!(out.contains("PASS scale.regroup_seconds_1m"), "{out}");
+
+    let slow = with_scale("bench_scale_slow.json", 2.5, 0.7);
+    let (code, out) = gfl_trace(&format!("regress {} {}", base.display(), slow.display()));
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("FAIL scale.formation_seconds_1m"), "{out}");
+
+    // The cap is tunable; a baseline without the section is never gated.
+    let (code, out) = gfl_trace(&format!(
+        "regress {} {} --max-formation-seconds 5",
+        base.display(),
+        slow.display()
+    ));
+    assert_eq!(code, 0, "{out}");
+    let (code, out) = gfl_trace(&format!("regress {} {}", base.display(), base.display()));
+    assert_eq!(code, 0, "{out}");
+    assert!(!out.contains("scale."), "{out}");
+    std::fs::remove_file(&fast).ok();
+    std::fs::remove_file(&slow).ok();
+}
+
+#[test]
 fn regress_with_no_overlap_is_an_error() {
     let base = fixture("bench_baseline.json");
     let empty = tmp("empty_bench.json");

@@ -18,7 +18,7 @@
 //! factor (§7.1: "different quadratic cost functions for each method").
 
 use gfl_data::poison::Trigger;
-use gfl_data::{ClientPartition, Dataset, LabelMatrix};
+use gfl_data::{ClientPartition, Dataset, FedData, LabelMatrix, VirtualPopulation};
 use gfl_defense::DefenseCost;
 use gfl_faults::{
     summarize_attacks, AdversaryPlan, AttackEvent, AttackKind, ChurnPlan, DefenseStage, FaultEvent,
@@ -148,22 +148,25 @@ pub fn form_groups_per_edge(
 pub struct Trainer {
     pub(crate) config: GroupFelConfig,
     pub(crate) model: Network,
-    pub(crate) train: Dataset,
-    pub(crate) partition: ClientPartition,
+    pub(crate) data: FedData,
     pub(crate) test: Dataset,
     pub(crate) faults: Option<FaultState>,
     /// Link model used for byte accounting on clean runs; faulted runs use
     /// the fault state's (possibly customized) model instead.
     comm: CommModel,
-    churn: Option<ChurnState>,
+    pub(crate) churn: Option<ChurnState>,
     pub(crate) adversary: Option<AdversaryState>,
     robust_agg: RobustAggRule,
     scratch: ScratchPool,
     /// Parameter-length `Vec<Scalar>` buffers (group models, slot bufs,
     /// Line-15 weight/probability scratch), recycled across rounds.
     param_pool: BufPool<Scalar>,
-    /// `Vec<usize>` buffers (outcome member lists, ledger size scratch).
+    /// `Vec<usize>` buffers (outcome member lists, ledger size scratch,
+    /// virtual-shard label and index vectors).
     member_pool: BufPool<usize>,
+    /// Feature-row backing buffers for on-demand virtual shards, recycled
+    /// so a steady-state round materializes into warm capacity.
+    shard_pool: BufPool<Scalar>,
     /// Per-group slot-shell `Vec<Slot>` buffers.
     slot_pool: BufPool<Slot>,
     /// Evaluation workspaces for the per-round test/ASR evaluations.
@@ -266,9 +269,9 @@ fn robust_aggregate(rule: RobustAggRule, updates: &[Vec<Scalar>]) -> Vec<Scalar>
 
 /// Churn context of a self-healing run: the membership plan plus the
 /// policy governing when the partition is repaired.
-struct ChurnState {
-    plan: ChurnPlan,
-    policy: RegroupPolicy,
+pub(crate) struct ChurnState {
+    pub(crate) plan: ChurnPlan,
+    pub(crate) policy: RegroupPolicy,
 }
 
 /// A compromised client's pre-poisoned local shard. Materialized once at
@@ -293,6 +296,10 @@ struct PoisonedShard {
 pub(crate) struct AdversaryState {
     pub(crate) plan: AdversaryPlan,
     shards: HashMap<usize, PoisonedShard>,
+    /// The backdoor trigger pattern. Virtual populations have no prebuilt
+    /// shards, so `run_unit` re-applies the campaign to freshly derived
+    /// rows with this — bitwise what `with_adversary` would have baked in.
+    trigger: Trigger,
     /// Triggered non-target test samples, relabelled to the trigger
     /// target: accuracy on this set *is* the backdoor attack success rate.
     pub(crate) trigger_eval: Option<Dataset>,
@@ -429,10 +436,48 @@ impl Trainer {
         partition: ClientPartition,
         test: Dataset,
     ) -> Result<Self, ConfigError> {
-        if model.input_dim() != train.feature_dim() {
+        Self::try_from_data(
+            config,
+            model,
+            FedData::Materialized { train, partition },
+            test,
+        )
+    }
+
+    /// [`Trainer::try_new_virtual`] that panics on an invalid configuration.
+    pub fn new_virtual(
+        config: GroupFelConfig,
+        model: Network,
+        population: VirtualPopulation,
+        test: Dataset,
+    ) -> Self {
+        Self::try_new_virtual(config, model, population, test)
+            .unwrap_or_else(|e| panic!("invalid Group-FEL configuration: {e}"))
+    }
+
+    /// [`Trainer::try_new`] over a [`VirtualPopulation`]: no client rows
+    /// exist up front; each round derives shards for exactly the sampled
+    /// clients and releases them afterwards, so steady-state memory is
+    /// O(sampled clients), not O(population).
+    pub fn try_new_virtual(
+        config: GroupFelConfig,
+        model: Network,
+        population: VirtualPopulation,
+        test: Dataset,
+    ) -> Result<Self, ConfigError> {
+        Self::try_from_data(config, model, FedData::Virtual(population), test)
+    }
+
+    fn try_from_data(
+        config: GroupFelConfig,
+        model: Network,
+        data: FedData,
+        test: Dataset,
+    ) -> Result<Self, ConfigError> {
+        if model.input_dim() != data.feature_dim() {
             return Err(ConfigError::DimensionMismatch {
                 model: model.input_dim(),
-                data: train.feature_dim(),
+                data: data.feature_dim(),
             });
         }
         if config.global_rounds == 0 {
@@ -447,8 +492,7 @@ impl Trainer {
         Ok(Self {
             config,
             model,
-            train,
-            partition,
+            data,
             test,
             faults: None,
             comm: CommModel::edge_default(),
@@ -458,6 +502,7 @@ impl Trainer {
             scratch: ScratchPool::new(),
             param_pool: BufPool::new(),
             member_pool: BufPool::new(),
+            shard_pool: BufPool::new(),
             slot_pool: BufPool::new(),
             eval_pool: gfl_nn::EvalPool::new(),
             obs: None,
@@ -504,7 +549,7 @@ impl Trainer {
         policy
             .validate()
             .unwrap_or_else(|e| panic!("invalid FaultPolicy: {e}"));
-        let mut edge_of_client = vec![0usize; self.partition.indices.len()];
+        let mut edge_of_client = vec![0usize; self.data.num_clients()];
         for j in 0..topology.num_edges() {
             for &c in topology.clients_of(j) {
                 edge_of_client[c] = j;
@@ -554,11 +599,11 @@ impl Trainer {
             self.adversary = None;
             return self;
         }
-        let classes = self.train.num_classes();
+        let classes = self.data.num_classes();
         if plan.backdoor_fraction > 0.0 {
             assert!(plan.trigger_target < classes, "trigger target out of range");
             assert!(
-                plan.trigger_width <= self.train.feature_dim(),
+                plan.trigger_width <= self.data.feature_dim(),
                 "trigger wider than the feature space"
             );
         }
@@ -569,44 +614,53 @@ impl Trainer {
             );
         }
         let trigger = Trigger::corner(plan.trigger_width, plan.trigger_target);
+        // Materialized federations pre-poison their compromised shards
+        // here; virtual ones poison on the fly in `run_unit`, where the
+        // shard is derived (same picks, same rows — `poisons_row` is a
+        // pure hash of the plan seed either way).
         let mut shards = HashMap::new();
-        for (client, indices) in self.partition.indices.iter().enumerate() {
-            let kind = match plan.kind(client) {
-                Some(k @ (AttackKind::Backdoor | AttackKind::LabelFlip)) => k,
-                _ => continue,
-            };
-            if indices.is_empty() {
-                continue;
-            }
-            let local = self.train.subset(indices);
-            let mut features = local.features().clone();
-            let mut labels = local.labels().to_vec();
-            let picked: Vec<usize> = (0..local.len())
-                .filter(|&r| plan.poisons_row(client, r))
-                .collect();
-            let rows = match kind {
-                AttackKind::Backdoor => {
-                    trigger.apply(&mut features, &mut labels, &picked);
-                    picked.len()
+        if let FedData::Materialized { train, partition } = &self.data {
+            for (client, indices) in partition.indices.iter().enumerate() {
+                let kind = match plan.kind(client) {
+                    Some(k @ (AttackKind::Backdoor | AttackKind::LabelFlip)) => k,
+                    _ => continue,
+                };
+                if indices.is_empty() {
+                    continue;
                 }
-                AttackKind::LabelFlip => {
-                    gfl_data::poison::label_flip(&mut labels, &picked, plan.flip_from, plan.flip_to)
+                let local = train.subset(indices);
+                let mut features = local.features().clone();
+                let mut labels = local.labels().to_vec();
+                let picked: Vec<usize> = (0..local.len())
+                    .filter(|&r| plan.poisons_row(client, r))
+                    .collect();
+                let rows = match kind {
+                    AttackKind::Backdoor => {
+                        trigger.apply(&mut features, &mut labels, &picked);
+                        picked.len()
+                    }
+                    AttackKind::LabelFlip => gfl_data::poison::label_flip(
+                        &mut labels,
+                        &picked,
+                        plan.flip_from,
+                        plan.flip_to,
+                    ),
+                    AttackKind::ModelPoison => unreachable!(),
+                };
+                if rows == 0 {
+                    continue; // campaign touched nothing: the shard is honest
                 }
-                AttackKind::ModelPoison => unreachable!(),
-            };
-            if rows == 0 {
-                continue; // campaign touched nothing: the shard is honest
+                let len = labels.len();
+                shards.insert(
+                    client,
+                    PoisonedShard {
+                        data: Dataset::new(features, labels, classes),
+                        indices: (0..len).collect(),
+                        rows,
+                        kind,
+                    },
+                );
             }
-            let len = labels.len();
-            shards.insert(
-                client,
-                PoisonedShard {
-                    data: Dataset::new(features, labels, classes),
-                    indices: (0..len).collect(),
-                    rows,
-                    kind,
-                },
-            );
         }
         let trigger_eval = (plan.backdoor_fraction > 0.0).then(|| {
             let n = self.test.len().clamp(1, 256);
@@ -630,6 +684,7 @@ impl Trainer {
         self.adversary = Some(AdversaryState {
             plan,
             shards,
+            trigger,
             trigger_eval,
             flip_eval,
         });
@@ -666,13 +721,33 @@ impl Trainer {
         &self.model
     }
 
+    /// The materialized client partition.
+    ///
+    /// # Panics
+    /// Panics for virtual populations, which have no row-index partition;
+    /// check [`Trainer::virtual_population`] first when the representation
+    /// is not known statically.
     pub fn partition(&self) -> &ClientPartition {
-        &self.partition
+        self.data.partition()
     }
 
     /// The federated training dataset.
+    ///
+    /// # Panics
+    /// Panics for virtual populations, which never materialize a pooled
+    /// dataset.
     pub fn train_data(&self) -> &Dataset {
-        &self.train
+        self.data.train()
+    }
+
+    /// The virtual population, when this trainer runs over one.
+    pub fn virtual_population(&self) -> Option<&VirtualPopulation> {
+        self.data.as_virtual()
+    }
+
+    /// The federated data layout (materialized or virtual).
+    pub fn fed_data(&self) -> &FedData {
+        &self.data
     }
 
     /// The held-out test dataset.
@@ -682,7 +757,7 @@ impl Trainer {
 
     /// Number of samples held by a set of clients.
     pub fn group_samples(&self, group: &[usize]) -> usize {
-        group.iter().map(|&c| self.partition.indices[c].len()).sum()
+        group.iter().map(|&c| self.data.client_size(c)).sum()
     }
 
     /// Evaluates parameters on the held-out test set. Uses pooled
@@ -716,7 +791,7 @@ impl Trainer {
     ) -> RunHistory {
         let covs: Vec<Scalar> = groups
             .iter()
-            .map(|g| group_cov(&self.partition.label_matrix, g))
+            .map(|g| group_cov(self.data.label_matrix(), g))
             .collect();
         let probs = sampling.probabilities(&covs);
         self.run_with_probabilities(groups, strategy, &probs)
@@ -732,7 +807,7 @@ impl Trainer {
     ) -> (RunHistory, Params) {
         let covs: Vec<Scalar> = groups
             .iter()
-            .map(|g| group_cov(&self.partition.label_matrix, g))
+            .map(|g| group_cov(self.data.label_matrix(), g))
             .collect();
         let probs = sampling.probabilities(&covs);
         let mut rng = init::rng(self.config.seed);
@@ -825,7 +900,7 @@ impl Trainer {
     ) -> RoundReport {
         assert_eq!(groups.len(), probs.len(), "one probability per group");
         let cfg = &self.config;
-        let total_samples = self.train.len();
+        let total_samples = self.data.total_samples();
         let s = cfg.sampled_groups.clamp(1, groups.len());
         // Observation is read-only: timestamps and counter snapshots are
         // taken around the simulation sections but never feed back into
@@ -904,7 +979,7 @@ impl Trainer {
             );
             for o in &outcomes {
                 sizes.clear();
-                sizes.extend(o.members.iter().map(|&c| self.partition.indices[c].len()));
+                sizes.extend(o.members.iter().map(|&c| self.data.client_size(c)));
                 ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
                 // Every member that attempted the round moved its downloads
                 // and uploads on the client↔edge link, whether or not the
@@ -1229,7 +1304,7 @@ impl Trainer {
         let mut membership = MembershipState::form(
             algo,
             topology,
-            &self.partition.label_matrix,
+            self.data.label_matrix(),
             plan,
             policy,
             self.config.seed,
@@ -1275,7 +1350,7 @@ impl Trainer {
         start_round: usize,
         rounds: usize,
     ) -> Result<(), PartitionError> {
-        let labels = &self.partition.label_matrix;
+        let labels = self.data.label_matrix();
         let plan = self.churn.as_ref().map(|c| &c.plan);
         let obs = self.obs.as_deref();
         history.reserve_rounds(rounds.div_ceil(self.config.eval_every) + 1);
@@ -1423,7 +1498,7 @@ impl Trainer {
         let slowest = group
             .iter()
             .map(|&c| {
-                fs.cost.training(self.partition.indices[c].len()) * self.config.local_rounds as f64
+                fs.cost.training(self.data.client_size(c)) * self.config.local_rounds as f64
                     + transfer
             })
             .fold(0.0f64, f64::max);
@@ -1585,7 +1660,7 @@ impl Trainer {
                     .iter()
                     .zip(ctx.slots.iter())
                     .filter(|(_, s)| s.live)
-                    .map(|(&c, _)| self.partition.indices[c].len())
+                    .map(|(&c, _)| self.data.client_size(c))
                     .sum();
                 ctx.uploads += ctx.slots.iter().filter(|s| s.live).count();
                 ctx.upload_samples += n_surv;
@@ -1598,7 +1673,7 @@ impl Trainer {
                         .iter()
                         .zip(ctx.slots.iter())
                         .filter(|(_, s)| s.live)
-                        .map(|(&c, _)| self.partition.indices[c].len() as Scalar / n_surv as Scalar)
+                        .map(|(&c, _)| self.data.client_size(c) as Scalar / n_surv as Scalar)
                         .collect();
                     self.secure_group_aggregate(
                         ctx.group,
@@ -1632,7 +1707,7 @@ impl Trainer {
                         .zip(ctx.slots.iter())
                         .filter(|(_, s)| s.live)
                     {
-                        let w = self.partition.indices[c].len() as Scalar / n_surv as Scalar;
+                        let w = self.data.client_size(c) as Scalar / n_surv as Scalar;
                         ops::axpy(w, &s.buf, &mut ctx.group_params);
                     }
                 }
@@ -1759,7 +1834,7 @@ impl Trainer {
         slot.event = None;
         slot.attack = None;
         slot.loss = None;
-        let indices = &self.partition.indices[client];
+        let client_samples = self.data.client_size(client);
         // Injected faults: crashes vanish mid-round, stragglers past the
         // deadline are cut. Decisions are pure hashes — they never touch
         // `crng`, so the clean path is bit-identical with faults compiled
@@ -1794,7 +1869,7 @@ impl Trainer {
                 let slowdown = fs.injector.slowdown(t, k, client);
                 if slowdown > 1.0 {
                     let estimated =
-                        fs.cost.training(indices.len()) * cfg.local_rounds as f64 * slowdown
+                        fs.cost.training(client_samples) * cfg.local_rounds as f64 * slowdown
                             + transfer;
                     if estimated > deadline_s {
                         slot.event = Some(FaultEvent::StragglerCut {
@@ -1824,32 +1899,82 @@ impl Trainer {
         }
         slot.buf.clear();
         slot.buf.extend_from_slice(unit.start);
-        // Compromised data poisoners train on their pre-poisoned shard;
-        // everyone else trains on the honest partition. Swapping the shard
-        // here — inside the client update boundary — means the poison is
-        // already baked in *before* any masking or robust aggregation, so
-        // attacks survive SecAgg exactly as they would in deployment.
+        // Compromised data poisoners train on a poisoned shard; everyone
+        // else trains on their honest rows. Swapping the shard here —
+        // inside the client update boundary — means the poison is already
+        // baked in *before* any masking or robust aggregation, so attacks
+        // survive SecAgg exactly as they would in deployment. Materialized
+        // federations use prebuilt shards; virtual ones derive the client's
+        // rows on demand into pooled buffers (released below) and apply the
+        // campaign to the fresh rows — same picks, same rows, bitwise the
+        // shard `with_adversary` would have prebuilt.
         let adv = self.adversary.as_ref();
-        let shard = adv.and_then(|a| a.shards.get(&client));
-        let (data, indices): (&Dataset, &[usize]) = match shard {
-            Some(s) => (&s.data, &s.indices),
-            None => (&self.train, indices),
+        let mut owned: Option<(Dataset, Vec<usize>)> = None;
+        let mut poisoned: Option<(AttackKind, usize)> = None;
+        let (data, indices): (&Dataset, &[usize]) = match &self.data {
+            FedData::Materialized { train, partition } => {
+                match adv.and_then(|a| a.shards.get(&client)) {
+                    Some(s) => {
+                        poisoned = Some((s.kind, s.rows));
+                        (&s.data, s.indices.as_slice())
+                    }
+                    None => (train, partition.indices[client].as_slice()),
+                }
+            }
+            FedData::Virtual(pop) => {
+                let features = self.shard_pool.take();
+                let labels = self.member_pool.take();
+                let mut ds = pop.shard_from_parts(client, features, labels);
+                let kind = adv.and_then(|a| match a.plan.kind(client) {
+                    Some(k @ (AttackKind::Backdoor | AttackKind::LabelFlip)) => Some(k),
+                    _ => None,
+                });
+                if let (Some(a), Some(kind)) = (adv, kind) {
+                    let classes = ds.num_classes();
+                    let (mut features, mut labels) = ds.into_parts();
+                    let picked: Vec<usize> = (0..labels.len())
+                        .filter(|&r| a.plan.poisons_row(client, r))
+                        .collect();
+                    let rows = match kind {
+                        AttackKind::Backdoor => {
+                            a.trigger.apply(&mut features, &mut labels, &picked);
+                            picked.len()
+                        }
+                        AttackKind::LabelFlip => gfl_data::poison::label_flip(
+                            &mut labels,
+                            &picked,
+                            a.plan.flip_from,
+                            a.plan.flip_to,
+                        ),
+                        AttackKind::ModelPoison => unreachable!(),
+                    };
+                    if rows > 0 {
+                        poisoned = Some((kind, rows));
+                    }
+                    ds = Dataset::new(features, labels, classes);
+                }
+                let mut idx = self.member_pool.take();
+                idx.extend(0..ds.len());
+                owned = Some((ds, idx));
+                let (d, i) = owned.as_ref().expect("just set");
+                (d, i.as_slice())
+            }
         };
-        if let Some(s) = shard {
-            slot.attack = Some(match s.kind {
+        if let Some((kind, rows)) = poisoned {
+            slot.attack = Some(match kind {
                 AttackKind::Backdoor => AttackEvent::BackdoorInjected {
                     round: t,
                     group_round: k,
                     group: unit.gi,
                     client,
-                    rows: s.rows,
+                    rows,
                 },
                 AttackKind::LabelFlip => AttackEvent::LabelsFlipped {
                     round: t,
                     group_round: k,
                     group: unit.gi,
                     client,
-                    rows: s.rows,
+                    rows,
                 },
                 AttackKind::ModelPoison => unreachable!("model poisoners have no shard"),
             });
@@ -1898,6 +2023,7 @@ impl Trainer {
                 _ => {}
             }
         }
+        let mut rejected = false;
         if let Some(fs) = fs {
             if fs.injector.corrupts(t, k, client) {
                 // The update arrives garbled: all weights NaN.
@@ -1923,10 +2049,21 @@ impl Trainer {
                     group: unit.gi,
                     client,
                 });
-                return;
+                rejected = true;
             }
         }
-        slot.live = true;
+        if !rejected {
+            slot.live = true;
+        }
+        // Virtual shards live exactly as long as the unit that trained on
+        // them: hand the feature/label/index buffers back for the next
+        // sampled client, on every exit path past materialization.
+        if let Some((ds, idx)) = owned {
+            let (features, labels) = ds.into_parts();
+            self.shard_pool.put(features.into_vec());
+            self.member_pool.put(labels);
+            self.member_pool.put(idx);
+        }
     }
 
     /// Group aggregation through the real pairwise-masking protocol:
@@ -2023,8 +2160,8 @@ mod tests {
         let trainer = Trainer::new(
             cfg,
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         );
         let h = trainer.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
@@ -2057,8 +2194,8 @@ mod tests {
         let secure_trainer = Trainer::new(
             cfg,
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         );
         let secure = secure_trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
@@ -2083,8 +2220,8 @@ mod tests {
         let trainer = Trainer::new(
             cfg,
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         );
         let h = trainer.run(&groups, &FedAvg, SamplingStrategy::Random);
@@ -2098,8 +2235,8 @@ mod tests {
         let build = |cfg: GroupFelConfig, model: Network| match Trainer::try_new(
             cfg,
             model,
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         ) {
             Err(e) => e,
@@ -2141,8 +2278,8 @@ mod tests {
         let trainer = Trainer::try_new(
             trainer.config.clone(),
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         )
         .unwrap()
@@ -2210,12 +2347,12 @@ mod tests {
             min_group_size: 2,
             max_cov: 0.8,
         };
-        let topo = Topology::even_split(2, trainer.partition.sizes());
+        let topo = Topology::even_split(2, trainer.partition().sizes());
         // The self-healing loop forms its partition with the config seed.
         let groups = form_groups_per_edge(
             &algo,
             &topo,
-            &trainer.partition.label_matrix,
+            &trainer.partition().label_matrix,
             trainer.config.seed,
         );
         let (h_static, p_static) =
@@ -2244,8 +2381,8 @@ mod tests {
             let t = Trainer::new(
                 trainer.config.clone(),
                 trainer.model.clone(),
-                trainer.train.clone(),
-                trainer.partition.clone(),
+                trainer.train_data().clone(),
+                trainer.partition().clone(),
                 trainer.test.clone(),
             )
             .with_robust_agg(rule);
@@ -2266,8 +2403,8 @@ mod tests {
         let t = Trainer::new(
             trainer.config.clone(),
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         )
         .with_robust_agg(RobustAggRule::MultiKrum {
@@ -2287,8 +2424,8 @@ mod tests {
         let _ = Trainer::new(
             cfg,
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         )
         .with_robust_agg(RobustAggRule::CoordinateMedian);
@@ -2302,8 +2439,8 @@ mod tests {
         let trainer = Trainer::new(
             cfg,
             trainer.model.clone(),
-            trainer.train.clone(),
-            trainer.partition.clone(),
+            trainer.train_data().clone(),
+            trainer.partition().clone(),
             trainer.test.clone(),
         );
         let h = trainer.run(&groups, &FedAvg, SamplingStrategy::Random);

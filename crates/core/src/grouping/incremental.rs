@@ -1,0 +1,176 @@
+//! Incremental group-statistic maintenance for formation at 10⁶ clients.
+//!
+//! The formation algorithms and the self-healing membership layer both need
+//! a group's CoV/variance/KL after tentative moves, merges, and departures.
+//! Recomputing from the member list is O(|g|·m) per query — fine at 300
+//! clients, ruinous at 10⁶. [`GroupStats`] instead carries the group's
+//! running label-count histogram and updates it in O(m) per membership
+//! event.
+//!
+//! **Zero-ULP invariant:** every metric is evaluated by calling the *same*
+//! reference functions the eager paths use — [`histogram_cov`],
+//! [`histogram_variance`], and the KLDG distribution + KL pipeline — on the
+//! running histogram. Since `u64` count addition is exact, the running
+//! histogram is identical (not merely close) to a from-scratch
+//! [`LabelMatrix::group_histogram`], so the derived floats are bit-for-bit
+//! equal to a full recompute. The property suite in
+//! `crates/core/tests/incremental.rs` pins this with `to_bits()` equality
+//! over arbitrary move/merge/departure traces.
+
+use gfl_data::LabelMatrix;
+use gfl_tensor::Scalar;
+
+use super::kldg::to_distribution;
+use super::variance::histogram_variance;
+use crate::cov::{self, histogram_cov};
+
+/// Running label-count statistics for one group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupStats {
+    hist: Vec<u64>,
+    members: usize,
+}
+
+impl GroupStats {
+    /// An empty group over `num_labels` labels.
+    pub fn new(num_labels: usize) -> Self {
+        Self {
+            hist: vec![0; num_labels],
+            members: 0,
+        }
+    }
+
+    /// Stats for an existing member list — the "full recompute" the
+    /// incremental updates must stay equal to.
+    pub fn from_members(labels: &LabelMatrix, members: &[usize]) -> Self {
+        Self {
+            hist: labels.group_histogram(members),
+            members: members.len(),
+        }
+    }
+
+    /// Adds client `c`: O(m).
+    pub fn add(&mut self, labels: &LabelMatrix, c: usize) {
+        labels.add_client_into(c, &mut self.hist);
+        self.members += 1;
+    }
+
+    /// Removes client `c` (must currently be counted): O(m).
+    pub fn remove(&mut self, labels: &LabelMatrix, c: usize) {
+        debug_assert!(self.members > 0, "remove from empty group");
+        labels.remove_client_from(c, &mut self.hist);
+        self.members -= 1;
+    }
+
+    /// Merges `other` into `self`: O(m).
+    pub fn merge(&mut self, other: &GroupStats) {
+        debug_assert_eq!(self.hist.len(), other.hist.len());
+        for (h, o) in self.hist.iter_mut().zip(other.hist.iter()) {
+            *h += o;
+        }
+        self.members += other.members;
+    }
+
+    /// Number of member clients.
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// The running combined label histogram.
+    pub fn hist(&self) -> &[u64] {
+        &self.hist
+    }
+
+    /// Total sample count across the group.
+    pub fn total(&self) -> u64 {
+        self.hist.iter().sum()
+    }
+
+    /// CoV of the group — same bits as `histogram_cov(group_histogram(..))`.
+    pub fn cov(&self) -> Scalar {
+        histogram_cov(&self.hist)
+    }
+
+    /// Raw variance — same bits as the `variance.rs` oracle.
+    pub fn variance(&self) -> Scalar {
+        histogram_variance(&self.hist)
+    }
+
+    /// `KL(group ‖ global)` through the exact KLDG pipeline.
+    pub fn kl_vs(&self, global: &[Scalar]) -> Scalar {
+        let p = to_distribution(&self.hist);
+        gfl_tensor::stats::kl_divergence(&p, global, 1e-9)
+    }
+
+    /// CoV after hypothetically adding `candidate`, without mutating.
+    pub fn cov_with_candidate(&self, labels: &LabelMatrix, candidate: usize) -> Scalar {
+        cov::cov_with_candidate(labels, &self.hist, candidate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::test_support::skewed_matrix;
+
+    #[test]
+    fn incremental_add_matches_full_recompute_bitwise() {
+        let labels = skewed_matrix(20, 5, 3);
+        let mut stats = GroupStats::new(5);
+        let mut members = Vec::new();
+        for c in [3usize, 7, 11, 0, 19] {
+            stats.add(&labels, c);
+            members.push(c);
+            let full = GroupStats::from_members(&labels, &members);
+            assert_eq!(stats, full);
+            assert_eq!(stats.cov().to_bits(), full.cov().to_bits());
+            assert_eq!(stats.variance().to_bits(), full.variance().to_bits());
+        }
+    }
+
+    #[test]
+    fn remove_reverses_add_exactly() {
+        let labels = skewed_matrix(12, 4, 5);
+        let mut stats = GroupStats::from_members(&labels, &[1, 4, 6, 9]);
+        let before = stats.clone();
+        stats.add(&labels, 2);
+        stats.remove(&labels, 2);
+        assert_eq!(stats, before);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let labels = skewed_matrix(16, 4, 7);
+        let mut a = GroupStats::from_members(&labels, &[0, 1, 2]);
+        let b = GroupStats::from_members(&labels, &[5, 9]);
+        a.merge(&b);
+        let union = GroupStats::from_members(&labels, &[0, 1, 2, 5, 9]);
+        assert_eq!(a, union);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn candidate_preview_matches_commit() {
+        let labels = skewed_matrix(10, 3, 9);
+        let mut stats = GroupStats::from_members(&labels, &[0, 4]);
+        let preview = stats.cov_with_candidate(&labels, 7);
+        stats.add(&labels, 7);
+        assert_eq!(preview.to_bits(), stats.cov().to_bits());
+    }
+
+    #[test]
+    fn kl_matches_kldg_pipeline() {
+        let labels = skewed_matrix(14, 4, 11);
+        let global = labels.global_distribution();
+        let members = [2usize, 5, 8];
+        let stats = GroupStats::from_members(&labels, &members);
+        let hist = labels.group_histogram(&members);
+        let p = to_distribution(&hist);
+        let want = gfl_tensor::stats::kl_divergence(&p, &global, 1e-9);
+        assert_eq!(stats.kl_vs(&global).to_bits(), want.to_bits());
+    }
+}

@@ -84,7 +84,7 @@ impl GroupingAlgorithm for KldGrouping {
     }
 }
 
-fn to_distribution(hist: &[u64]) -> Vec<Scalar> {
+pub(crate) fn to_distribution(hist: &[u64]) -> Vec<Scalar> {
     let floats: Vec<Scalar> = hist.iter().map(|&h| h as Scalar).collect();
     stats::normalize(&floats)
 }

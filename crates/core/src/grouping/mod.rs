@@ -14,17 +14,21 @@
 
 mod cdg;
 mod cov_grouping;
+pub mod incremental;
 mod kldg;
 pub mod optimal;
 mod random;
+mod stream;
 mod variance;
 
 pub use cdg::CdgGrouping;
 pub use cov_grouping::CovGrouping;
+pub use incremental::GroupStats;
 pub use kldg::KldGrouping;
 pub use optimal::optimal_grouping;
 pub use random::RandomGrouping;
-pub use variance::VarianceGrouping;
+pub use stream::StreamGrouping;
+pub use variance::{histogram_variance, VarianceGrouping};
 
 use gfl_data::LabelMatrix;
 use gfl_tensor::init::GflRng;
@@ -255,6 +259,7 @@ mod proptests {
                 min_group_size: 3,
                 max_variance: 20.0,
             }),
+            Box::new(StreamGrouping { group_size: 4 }),
         ]
     }
 

@@ -63,7 +63,8 @@ pub mod prelude {
         form_groups_per_edge, ConfigError, GroupFelConfig, RobustAggRule, Trainer,
     };
     pub use crate::grouping::{
-        CdgGrouping, CovGrouping, GroupingAlgorithm, KldGrouping, RandomGrouping,
+        CdgGrouping, CovGrouping, GroupStats, GroupingAlgorithm, KldGrouping, RandomGrouping,
+        StreamGrouping,
     };
     pub use crate::history::{AsrRecord, RoundRecord, RunHistory, TimedEvent};
     pub use crate::local::{FedAvg, LocalTask, LocalUpdate};

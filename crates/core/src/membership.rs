@@ -36,7 +36,7 @@ use gfl_tensor::{init, Scalar};
 use serde::{Deserialize, Serialize};
 
 use crate::cov::{cov_with_candidate, group_cov};
-use crate::grouping::{validate_partition_of, GroupingAlgorithm, PartitionError};
+use crate::grouping::{validate_partition_of, GroupStats, GroupingAlgorithm, PartitionError};
 use crate::sampling::SamplingStrategy;
 use crate::Group;
 
@@ -370,9 +370,18 @@ impl MembershipState {
         let mut events = Vec::new();
         let n = self.active.len();
         // Departures first, so an arrival can take a departed seat's group.
-        for c in 0..n {
+        // A one-pass client→group index makes each departure O(|group|)
+        // instead of a scan over every group — the difference between a
+        // round and a coffee break at 10⁶ clients.
+        let mut group_of: Vec<usize> = vec![usize::MAX; n];
+        for (gi, g) in self.groups.iter().enumerate() {
+            for &m in g {
+                group_of[m] = gi;
+            }
+        }
+        for (c, &gi) in group_of.iter().enumerate() {
             if self.active[c] && !plan.present(c, t) {
-                if let Some(gi) = self.groups.iter().position(|g| g.contains(&c)) {
+                if gi != usize::MAX {
                     self.groups[gi].retain(|&m| m != c);
                     events.push(RegroupEvent::ClientDeparted {
                         round: t,
@@ -384,10 +393,24 @@ impl MembershipState {
             }
         }
         let edge_of = edge_map(topology);
+        // Arrival placement consults running per-group histograms
+        // ([`GroupStats`], exact u64 counts ⇒ bitwise-identical CoVs),
+        // built lazily on the first arrival and updated in O(labels) per
+        // placement.
+        let mut index: Option<(Vec<GroupStats>, Vec<Vec<usize>>)> = None;
         for c in 0..n {
             if !self.active[c] && plan.present(c, t) {
                 if self.policy.enabled {
-                    let gi = self.place_client(labels, &edge_of, c);
+                    let (stats, by_edge) = index.get_or_insert_with(|| {
+                        (
+                            self.groups
+                                .iter()
+                                .map(|g| GroupStats::from_members(labels, g))
+                                .collect(),
+                            self.groups_by_edge(&edge_of, topology.num_edges()),
+                        )
+                    });
+                    let gi = self.place_client(labels, &edge_of, stats, by_edge, c);
                     self.active[c] = true;
                     events.push(RegroupEvent::ClientArrived {
                         round: t,
@@ -412,15 +435,34 @@ impl MembershipState {
     /// `grouping::optimal`, restricted to single-client moves). Opens a
     /// new group when the edge has none. Placement counts as a
     /// re-formation of the receiving group: its health baseline resets.
-    fn place_client(&mut self, labels: &LabelMatrix, edge_of: &[usize], client: usize) -> usize {
+    ///
+    /// `stats` carries one running histogram per group (aligned with
+    /// `self.groups`) and is updated in place; since the running counts
+    /// are exact `u64`s, every CoV here is bit-identical to recomputing
+    /// the candidate's histogram from the member list. `by_edge` narrows
+    /// the candidate scan to the client's own edge — at 10⁶ clients the
+    /// difference between O(groups-on-edge) and O(all-groups) per arrival
+    /// is the difference between a sub-second regroup tick and hours.
+    /// Both indices are built once per churn/heal pass.
+    fn place_client(
+        &mut self,
+        labels: &LabelMatrix,
+        edge_of: &[usize],
+        stats: &mut Vec<GroupStats>,
+        by_edge: &mut [Vec<usize>],
+        client: usize,
+    ) -> usize {
+        debug_assert_eq!(stats.len(), self.groups.len());
         let e = edge_of[client];
         let mut best: Option<(usize, Scalar)> = None;
-        for (gi, g) in self.groups.iter().enumerate() {
-            if g.is_empty() || edge_of[g[0]] != e {
+        // `by_edge[e]` holds this edge's group indices in ascending order,
+        // so the scan visits the same candidates in the same order as a
+        // full filtered sweep — the chosen group is bitwise-identical.
+        for &gi in &by_edge[e] {
+            if self.groups[gi].is_empty() {
                 continue;
             }
-            let hist = labels.group_histogram(g);
-            let cov = cov_with_candidate(labels, &hist, client);
+            let cov = cov_with_candidate(labels, stats[gi].hist(), client);
             if best.is_none_or(|(_, b)| cov < b) {
                 best = Some((gi, cov));
             }
@@ -428,16 +470,35 @@ impl MembershipState {
         match best {
             Some((gi, _)) => {
                 self.groups[gi].push(client);
-                self.health[gi] = GroupHealth::fresh(group_cov(labels, &self.groups[gi]));
+                stats[gi].add(labels, client);
+                self.health[gi] = GroupHealth::fresh(stats[gi].cov());
                 gi
             }
             None => {
                 self.groups.push(vec![client]);
-                self.health
-                    .push(GroupHealth::fresh(group_cov(labels, &[client])));
-                self.groups.len() - 1
+                let mut s = GroupStats::new(labels.num_labels());
+                s.add(labels, client);
+                self.health.push(GroupHealth::fresh(s.cov()));
+                stats.push(s);
+                let gi = self.groups.len() - 1;
+                by_edge[e].push(gi);
+                gi
             }
         }
+    }
+
+    /// Edge → ascending indices of the non-empty groups homed there
+    /// (a group's edge is its first member's edge — groups never span
+    /// edges). Built once per churn/heal pass and kept current by
+    /// [`Self::place_client`] when it opens a new group.
+    fn groups_by_edge(&self, edge_of: &[usize], num_edges: usize) -> Vec<Vec<usize>> {
+        let mut by_edge = vec![Vec::new(); num_edges];
+        for (gi, g) in self.groups.iter().enumerate() {
+            if let Some(&m) = g.first() {
+                by_edge[edge_of[m]].push(gi);
+            }
+        }
+        by_edge
     }
 
     /// Feeds one round's sampling outcome to the health monitor: every
@@ -576,9 +637,17 @@ impl MembershipState {
         self.health = keep.iter().map(|&gi| self.health[gi].clone()).collect();
 
         // Migrate orphans greedily, in client-id order for determinism.
+        // One histogram build over the surviving groups, then O(labels)
+        // incremental updates per migration (bitwise-exact u64 counts).
         orphans.sort_unstable();
+        let mut stats: Vec<GroupStats> = self
+            .groups
+            .iter()
+            .map(|g| GroupStats::from_members(labels, g))
+            .collect();
+        let mut by_edge = self.groups_by_edge(&edge_of, topology.num_edges());
         for c in orphans {
-            let gi = self.place_client(labels, &edge_of, c);
+            let gi = self.place_client(labels, &edge_of, &mut stats, &mut by_edge, c);
             events.push(RegroupEvent::ClientMigrated {
                 round: t,
                 client: c,

@@ -34,21 +34,25 @@
 //!
 //! Two knowing simplifications, both documented in `docs/ASYNC.md`: client
 //! dropout (`dropout_prob`) drops the *payload*, not the timing — a
-//! dropped client still counts toward the quorum clock; and churned
-//! (self-healing) runs have no semi-async entry point yet.
+//! dropped client still counts toward the quorum clock; and a membership
+//! transition under [`Trainer::run_semi_async_self_healing`] resets
+//! in-flight edge state (busy map + parked stale uploads), since both are
+//! keyed by group indices the transition invalidates.
 
 use gfl_faults::{FaultEvent, FaultInjector, FaultPlan, FaultPolicy};
 use gfl_nn::Params;
 use gfl_obs::{RoundMetrics, SpanAttrs, SpanKind};
-use gfl_sim::{CommModel, CostLedger, CostModel, EventId, EventQueue, RetryOutcome};
+use gfl_sim::{CommModel, CostLedger, CostModel, EventId, EventQueue, RetryOutcome, Topology};
 use gfl_tensor::init;
 use gfl_tensor::{ops, Scalar};
 use serde::{Deserialize, Serialize};
 
 use crate::cov::group_cov;
 use crate::engine::{GroupCuts, GroupOutcome, Trainer};
+use crate::grouping::{GroupingAlgorithm, PartitionError};
 use crate::history::{AsrRecord, RoundRecord, RunHistory, TimedEvent};
 use crate::local::LocalUpdate;
+use crate::membership::{MembershipState, RegroupPolicy};
 use crate::sampling::{aggregation_weights, sample_without_replacement, SamplingStrategy};
 use crate::Group;
 
@@ -289,7 +293,7 @@ impl Trainer {
                 .transfer_time(CommModel::model_bytes(param_len));
         let nominal_slowest = members
             .iter()
-            .map(|&c| tc.cost.training(self.partition.indices[c].len()) * e + transfer)
+            .map(|&c| tc.cost.training(self.data.client_size(c)) * e + transfer)
             .fold(0.0f64, f64::max);
         let deadline_rel =
             if tc.policy.deadline_factor > 0.0 && tc.policy.deadline_factor.is_finite() {
@@ -311,7 +315,7 @@ impl Trainer {
                 .map(|&c| {
                     let slowdown = tc.injector.slowdown(t, k, c);
                     let elapsed =
-                        tc.cost.training(self.partition.indices[c].len()) * e * slowdown + transfer;
+                        tc.cost.training(self.data.client_size(c)) * e * slowdown + transfer;
                     (start + elapsed, slowdown, tc.injector.crashes(t, k, c))
                 })
                 .collect();
@@ -407,7 +411,7 @@ impl Trainer {
     ) -> (RunHistory, Params, AsyncReport, SchedulerState) {
         let covs: Vec<Scalar> = groups
             .iter()
-            .map(|g| group_cov(&self.partition.label_matrix, g))
+            .map(|g| group_cov(self.data.label_matrix(), g))
             .collect();
         let probs = sampling.probabilities(&covs);
         let mut rng = init::rng(self.config.seed);
@@ -430,6 +434,123 @@ impl Trainer {
             self.config.global_rounds,
         );
         (history, params, report, sched)
+    }
+
+    /// Runs the semi-async runtime under **online membership**: forms the
+    /// initial partition over the clients present at round 0, then every
+    /// round applies the churn plan (departures, arrivals, flaps), lets
+    /// the group-health monitor heal the partition per the configured
+    /// [`RegroupPolicy`], and dispatches whoever is available to the
+    /// quorum-or-deadline scheduler. This closes the gap the module doc
+    /// used to flag: churned runs now have a semi-async entry point.
+    ///
+    /// Two semantics are specific to the semi-async flavor, both
+    /// documented in `docs/ASYNC.md`:
+    ///
+    /// * any membership transition **resets in-flight edge state**. The
+    ///   busy map and parked stale uploads are keyed by group index, which
+    ///   a heal renumbers and a departure invalidates, so results in
+    ///   flight at a transition are dropped rather than misattributed to
+    ///   whatever group inherits the index.
+    /// * group health sees **no quorum-miss signal**. The runtime's
+    ///   straggler cuts live on the emulated clock, not the lockstep
+    ///   quorum path that feeds [`MembershipState::observe_round`], so
+    ///   `RegroupPolicy::quorum_misses` never fires here — healing reacts
+    ///   to size floors, CoV drift, and emptiness only.
+    ///
+    /// Without [`Trainer::with_churn`] no membership event ever fires, so
+    /// the run is bit-identical to [`Trainer::run_semi_async`] on the
+    /// formation-time groups (asserted by `tests/semi_async.rs`).
+    pub fn run_semi_async_self_healing<S: LocalUpdate>(
+        &self,
+        algo: &dyn GroupingAlgorithm,
+        topology: &Topology,
+        strategy: &S,
+        sampling: SamplingStrategy,
+        acfg: &AsyncConfig,
+    ) -> Result<(RunHistory, Params, AsyncReport, MembershipState), PartitionError> {
+        let policy = self
+            .churn
+            .as_ref()
+            .map_or_else(RegroupPolicy::default, |c| c.policy.clone());
+        let plan = self.churn.as_ref().map(|c| &c.plan);
+        let labels = self.data.label_matrix();
+        let mut membership = MembershipState::form(
+            algo,
+            topology,
+            labels,
+            plan,
+            policy,
+            self.config.seed,
+            sampling,
+            0,
+        )?;
+        let mut rng = init::rng(self.config.seed);
+        let mut params = self.model.init_params(&mut rng);
+        let mut ledger = self.ledger_for(strategy);
+        let mut history = RunHistory::default();
+        let mut sched = SchedulerState::new();
+        let mut report = AsyncReport::default();
+        let tc = self.timing_ctx();
+        for t in 0..self.config.global_rounds {
+            let mut events = Vec::new();
+            if let Some(p) = plan {
+                events.extend(membership.apply_churn(p, t, labels, topology));
+            }
+            events.extend(membership.heal(
+                t,
+                labels,
+                algo,
+                topology,
+                self.config.seed,
+                sampling,
+            )?);
+            if !events.is_empty() {
+                // The partition changed under the scheduler: busy-until
+                // entries and parked stale uploads reference group indices
+                // that may now mean a different member set. Start clean.
+                sched.busy.clear();
+                sched.pending.clear();
+            }
+            history.record_regroups(events);
+            if membership.policy.enabled {
+                membership.refresh_probs(labels, sampling);
+            }
+            // Flapping clients sit out the round without leaving their
+            // group; empty effective groups are dispatched to nobody and
+            // the round-held path inside `semi_async_round` covers the
+            // all-dark case.
+            let effective: Vec<Group> = membership
+                .groups
+                .iter()
+                .map(|g| {
+                    g.iter()
+                        .copied()
+                        .filter(|&c| plan.is_none_or(|p| p.available(c, t)))
+                        .collect()
+                })
+                .collect();
+            let probs = membership.probs.clone();
+            let last = t + 1 == self.config.global_rounds;
+            let over_budget = self.semi_async_round(
+                t,
+                &effective,
+                strategy,
+                &probs,
+                acfg,
+                &tc,
+                &mut params,
+                &mut ledger,
+                &mut history,
+                &mut sched,
+                &mut report,
+                last,
+            );
+            if over_budget {
+                break;
+            }
+        }
+        Ok((history, params, report, membership))
     }
 
     /// Resumable core of the semi-async runtime: runs `rounds` global
@@ -488,7 +609,7 @@ impl Trainer {
         last: bool,
     ) -> bool {
         let cfg = &self.config;
-        let total_samples = self.train.len();
+        let total_samples = self.data.total_samples();
         let s = cfg.sampled_groups.clamp(1, groups.len());
         let obs = self.obs.as_deref();
         let round_start = obs.map(|o| o.now_ns());
@@ -593,7 +714,7 @@ impl Trainer {
             let sizes: Vec<usize> = o
                 .members
                 .iter()
-                .map(|&c| self.partition.indices[c].len())
+                .map(|&c| self.data.client_size(c))
                 .collect();
             ledger.charge_group(&sizes, cfg.group_rounds, cfg.local_rounds);
             ledger.charge_client_edge_bytes(o.members.len() as u64 * client_bytes);

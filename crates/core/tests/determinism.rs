@@ -109,6 +109,37 @@ fn clean_run_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn virtual_population_run_is_bit_identical_across_thread_counts() {
+    // Virtual populations add two more thread-sensitive stages: the
+    // chunked parallel population build (per-client summary statistics)
+    // and the on-demand shard materialization inside each work unit. Both
+    // must be invariant — the whole pipeline from `VirtualSpec` to final
+    // parameters is rebuilt per thread count here, nothing is shared.
+    let seed = 91 + seed_offset();
+    assert_bit_identical(|| {
+        let pop =
+            gfl_data::VirtualPopulation::new(gfl_data::VirtualSpec::paper_vision(4_000, 0.1, seed));
+        let sizes: Vec<usize> = (0..pop.num_clients()).map(|c| pop.client_size(c)).collect();
+        let topo = Topology::even_split(4, sizes);
+        let groups = form_groups_per_edge(
+            &StreamGrouping { group_size: 8 },
+            &topo,
+            pop.label_matrix(),
+            seed,
+        );
+        let test = pop.test_set(256);
+        let mut cfg = GroupFelConfig::tiny();
+        cfg.seed = seed;
+        let hists: Vec<Vec<u32>> = (0..pop.num_clients())
+            .map(|c| pop.label_matrix().client(c).to_vec())
+            .collect();
+        let t = Trainer::new_virtual(cfg, gfl_nn::zoo::vision_model(), pop, test);
+        let (h, p) = t.run_returning_params(&groups, &FedAvg, SamplingStrategy::ESRCov);
+        (h, p, groups, hists)
+    });
+}
+
+#[test]
 fn faulted_run_is_bit_identical_across_thread_counts() {
     // Crashes, straggler cuts, corrupt rejections, outages, and quorum
     // skips must all land on the same (t, k, client) coordinates — and in

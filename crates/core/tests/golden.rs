@@ -87,16 +87,59 @@ fn run_scenario(name: &str, seed: u64) -> RunHistory {
 /// Like [`run_scenario`], with an optional trace collector attached to the
 /// trainer — used by the streaming byte-identity test to replay the golden
 /// scenarios under observation.
+/// Vision-shaped virtual federation (paper §7.2 client shape: 20–200
+/// rows, 10 classes, 64-dim features) at an arbitrary population size.
+/// Groups are stream-formed — the only formation that stays sub-second at
+/// 10⁶ clients — and only `cfg.sampled_groups` of them train per round.
+fn virtual_world(
+    clients: usize,
+    seed: u64,
+) -> (
+    GroupFelConfig,
+    gfl_nn::Network,
+    gfl_data::VirtualPopulation,
+    Vec<Group>,
+    gfl_data::Dataset,
+) {
+    let pop =
+        gfl_data::VirtualPopulation::new(gfl_data::VirtualSpec::paper_vision(clients, 0.1, seed));
+    let sizes: Vec<usize> = (0..pop.num_clients()).map(|c| pop.client_size(c)).collect();
+    let topo = Topology::even_split(8, sizes);
+    let groups = form_groups_per_edge(
+        &StreamGrouping { group_size: 8 },
+        &topo,
+        pop.label_matrix(),
+        seed,
+    );
+    let test = pop.test_set(512);
+    let mut cfg = GroupFelConfig::tiny();
+    cfg.seed = seed;
+    cfg.global_rounds = 3;
+    (cfg, gfl_nn::zoo::vision_model(), pop, groups, test)
+}
+
 fn run_scenario_observed(
     name: &str,
     seed: u64,
     obs: Option<std::sync::Arc<gfl_obs::TraceCollector>>,
 ) -> RunHistory {
-    let (cfg, model, part, topo, groups, train, test) = world(seed);
     let attach = |t: Trainer| match &obs {
         Some(o) => t.with_observer(std::sync::Arc::clone(o)),
         None => t,
     };
+    // Virtual scenarios derive their population instead of materializing
+    // one; they never touch the eager world.
+    let virtual_clients = match name {
+        "virtual" => Some(20_000),
+        "virtual-1m" => Some(1_000_000),
+        _ => None,
+    };
+    if let Some(clients) = virtual_clients {
+        let (cfg, model, pop, groups, test) = virtual_world(clients, seed);
+        let t = attach(Trainer::new_virtual(cfg, model, pop, test));
+        return t.run(&groups, &FedAvg, SamplingStrategy::ESRCov);
+    }
+    let (cfg, model, part, topo, groups, train, test) = world(seed);
     match name {
         "clean" => {
             let t = attach(Trainer::new(cfg, model, train, part, test));
@@ -233,6 +276,28 @@ fn golden_attacked_histories_match() {
     for seed in GOLDEN_SEEDS {
         check_golden("attacked", seed);
     }
+}
+
+#[test]
+fn golden_virtual_histories_match() {
+    // The paper_vision-shaped virtual scenario at a CI-sized population.
+    // The same trajectory shape at 10⁶ clients is pinned by
+    // `golden_virtual_million_matches` below (GFL_SCALE-gated).
+    for seed in GOLDEN_SEEDS {
+        check_golden("virtual", seed);
+    }
+}
+
+#[test]
+fn golden_virtual_million_matches() {
+    // The acceptance-criteria run: 10⁶ paper_vision-shaped virtual clients,
+    // a small sampled-group count, snapshot-pinned. ~30 s in debug builds,
+    // ~1 s in release, so it only runs when the scale smoke asks for it:
+    // `GFL_SCALE=1 cargo test --release -p gfl-core --test golden`.
+    if std::env::var("GFL_SCALE").ok().as_deref() != Some("1") {
+        return;
+    }
+    check_golden("virtual-1m", GOLDEN_SEEDS[0]);
 }
 
 #[test]

@@ -1,0 +1,185 @@
+//! Property layer for incremental group-statistic maintenance (ISSUE 10,
+//! satellite 2).
+//!
+//! The membership layer keeps one [`GroupStats`] per group and updates it
+//! in O(labels) per event, instead of recomputing O(|g|·labels) histograms
+//! on every churn tick. That is only sound if the running statistics stay
+//! *bitwise* equal to a from-scratch rebuild — CoV, variance, and KL are
+//! nonlinear in the histogram, so even a one-count drift would change
+//! formation decisions. This suite drives arbitrary traces of moves,
+//! departures, arrivals, and merges against a mirrored member-list model
+//! and demands `to_bits()` equality of every derived metric after every
+//! step, with [`GroupStats::from_members`] (and the public eager oracles
+//! [`group_cov`] / [`histogram_variance`]) as the recompute reference.
+
+use gfl_core::cov::group_cov;
+use gfl_core::grouping::{histogram_variance, GroupStats};
+use gfl_data::LabelMatrix;
+use proptest::prelude::*;
+
+/// An arbitrary label matrix: `clients × labels` counts in [0, 50].
+fn matrix_strategy() -> impl Strategy<Value = LabelMatrix> {
+    (6usize..24, 2usize..8).prop_flat_map(|(clients, labels)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..50, labels), clients)
+            .prop_map(move |counts| LabelMatrix::new(counts, labels))
+    })
+}
+
+/// A trace step: `(op selector, group pick, client/slot pick)`.
+type Step = (u8, usize, usize);
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec((0u8..4, 0usize..1 << 16, 0usize..1 << 16), 1..40)
+}
+
+/// Mirrored state: member lists (the model) + running stats (under test).
+struct Groups {
+    members: Vec<Vec<usize>>,
+    stats: Vec<GroupStats>,
+    /// Clients currently outside every group (departed / not yet arrived).
+    pool: Vec<usize>,
+}
+
+impl Groups {
+    fn new(labels: &LabelMatrix, num_groups: usize) -> Self {
+        let mut members = vec![Vec::new(); num_groups];
+        let mut pool = Vec::new();
+        for c in 0..labels.num_clients() {
+            // Seed roughly half the clients into groups round-robin; the
+            // rest start in the pool so arrivals have material.
+            if c % 2 == 0 {
+                members[c / 2 % num_groups].push(c);
+            } else {
+                pool.push(c);
+            }
+        }
+        let stats = members
+            .iter()
+            .map(|g| GroupStats::from_members(labels, g))
+            .collect();
+        Self {
+            members,
+            stats,
+            pool,
+        }
+    }
+
+    /// The zero-ULP contract, checked group by group after every step.
+    fn assert_matches_recompute(&self, labels: &LabelMatrix) {
+        let global = labels.global_distribution();
+        for (g, stats) in self.members.iter().zip(&self.stats) {
+            let full = GroupStats::from_members(labels, g);
+            assert_eq!(stats, &full, "running histogram drifted for {g:?}");
+            assert_eq!(stats.len(), g.len());
+            assert_eq!(stats.cov().to_bits(), full.cov().to_bits());
+            assert_eq!(
+                stats.cov().to_bits(),
+                group_cov(labels, g).to_bits(),
+                "running CoV diverged from the eager oracle for {g:?}"
+            );
+            assert_eq!(
+                stats.variance().to_bits(),
+                histogram_variance(&labels.group_histogram(g)).to_bits()
+            );
+            assert_eq!(
+                stats.kl_vs(&global).to_bits(),
+                full.kl_vs(&global).to_bits()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn arbitrary_traces_never_drift(
+        labels in matrix_strategy(),
+        num_groups in 1usize..5,
+        trace in trace_strategy(),
+    ) {
+        let mut state = Groups::new(&labels, num_groups);
+        state.assert_matches_recompute(&labels);
+
+        for (op, a, b) in trace {
+            match op {
+                // Move: lift a member out of one group into another.
+                0 => {
+                    let from = a % state.members.len();
+                    if state.members[from].is_empty() {
+                        continue;
+                    }
+                    let idx = b % state.members[from].len();
+                    let c = state.members[from].remove(idx);
+                    state.stats[from].remove(&labels, c);
+                    let to = b % state.members.len();
+                    state.members[to].push(c);
+                    state.stats[to].add(&labels, c);
+                }
+                // Departure: member leaves the federation entirely.
+                1 => {
+                    let g = a % state.members.len();
+                    if state.members[g].is_empty() {
+                        continue;
+                    }
+                    let idx = b % state.members[g].len();
+                    let c = state.members[g].remove(idx);
+                    state.stats[g].remove(&labels, c);
+                    state.pool.push(c);
+                }
+                // Arrival: pooled client joins a group, previewed first —
+                // the preview must equal the committed CoV bitwise.
+                2 => {
+                    if state.pool.is_empty() {
+                        continue;
+                    }
+                    let c = state.pool.remove(a % state.pool.len());
+                    let g = b % state.members.len();
+                    let preview = state.stats[g].cov_with_candidate(&labels, c);
+                    state.members[g].push(c);
+                    state.stats[g].add(&labels, c);
+                    prop_assert_eq!(preview.to_bits(), state.stats[g].cov().to_bits());
+                }
+                // Merge: group b is absorbed into group a (when distinct
+                // and more than one group remains).
+                _ => {
+                    if state.members.len() < 2 {
+                        continue;
+                    }
+                    let into = a % state.members.len();
+                    let from = b % state.members.len();
+                    if into == from {
+                        continue;
+                    }
+                    let absorbed = state.members.remove(from);
+                    let absorbed_stats = state.stats.remove(from);
+                    let into = if from < into { into - 1 } else { into };
+                    state.members[into].extend(absorbed);
+                    state.stats[into].merge(&absorbed_stats);
+                }
+            }
+            state.assert_matches_recompute(&labels);
+        }
+    }
+
+    /// Remove must be the exact inverse of add, even interleaved with
+    /// unrelated traffic on the same stats object.
+    #[test]
+    fn add_remove_roundtrip_is_exact(
+        labels in matrix_strategy(),
+        picks in proptest::collection::vec(0usize..1 << 16, 1..12),
+    ) {
+        let n = labels.num_clients();
+        let seed: Vec<usize> = (0..n / 2).collect();
+        let mut stats = GroupStats::from_members(&labels, &seed);
+        let baseline = stats.clone();
+        for &p in &picks {
+            stats.add(&labels, p % n);
+        }
+        for &p in picks.iter().rev() {
+            stats.remove(&labels, p % n);
+        }
+        prop_assert_eq!(&stats, &baseline);
+        prop_assert_eq!(stats.cov().to_bits(), baseline.cov().to_bits());
+    }
+}

@@ -451,3 +451,122 @@ fn semi_async_cuts_emulated_wall_clock_under_stragglers() {
         rep_wait.final_clock_s()
     );
 }
+
+#[test]
+fn self_healing_no_churn_limit_is_bit_identical() {
+    // Without `with_churn`, the self-healing semi-async loop must
+    // reproduce `run_semi_async` on the formation-time groups bit for
+    // bit: same history, same params, same emulated-time report, and an
+    // empty regroup log.
+    let algo = CovGrouping {
+        min_group_size: 2,
+        max_cov: 1.0,
+    };
+    for seed in [61u64, 62, 63] {
+        let (cfg, model, part, topo, groups, train, test) = world(seed);
+        let plan = FaultPlan {
+            straggler_fraction: 0.4,
+            straggler_factor: 8.0,
+            ..FaultPlan::none()
+        };
+        let policy = FaultPolicy {
+            quorum_fraction: 0.7,
+            deadline_factor: 1.5,
+            ..FaultPolicy::default()
+        };
+        let mk = || {
+            Trainer::new(
+                cfg.clone(),
+                model.clone(),
+                train.clone(),
+                part.clone(),
+                test.clone(),
+            )
+            .with_faults(plan.clone(), policy, &topo)
+        };
+        let (h_static, p_static, rep_static) = mk().run_semi_async(
+            &groups,
+            &FedAvg,
+            SamplingStrategy::ESRCov,
+            &AsyncConfig::default(),
+        );
+        let (h_heal, p_heal, rep_heal, membership) = mk()
+            .run_semi_async_self_healing(
+                &algo,
+                &topo,
+                &FedAvg,
+                SamplingStrategy::ESRCov,
+                &AsyncConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(membership.groups, groups, "seed {seed}: formation diverged");
+        assert_eq!(h_heal, h_static, "seed {seed}: history diverged");
+        assert_eq!(p_heal, p_static, "seed {seed}: params diverged");
+        assert_eq!(rep_heal, rep_static, "seed {seed}: async report diverged");
+        assert!(h_heal.regroup_events().is_empty());
+    }
+}
+
+#[test]
+fn churned_semi_async_run_heals_deterministically() {
+    // The previously-rejected combination: churn + semi-async. The run
+    // must complete, log membership transitions, keep the emulated clock
+    // monotone (held rounds may freeze it, never rewind it), and be a
+    // pure function of its seeds.
+    let algo = CovGrouping {
+        min_group_size: 2,
+        max_cov: 1.0,
+    };
+    let churn = gfl_faults::ChurnPlan {
+        seed: 71 + seed_offset(),
+        horizon: 4,
+        departure_fraction: 0.4,
+        arrival_fraction: 0.3,
+        flap_prob: 0.1,
+    };
+    let run = || {
+        let (cfg, model, part, topo, train, _groups_unused, test) = {
+            let (cfg, model, part, topo, groups, train, test) = world(64);
+            (cfg, model, part, topo, train, groups, test)
+        };
+        let trainer = Trainer::new(cfg, model, train, part, test)
+            .with_faults(
+                FaultPlan {
+                    straggler_fraction: 0.3,
+                    straggler_factor: 6.0,
+                    ..FaultPlan::none()
+                },
+                FaultPolicy {
+                    quorum_fraction: 0.7,
+                    deadline_factor: 1.5,
+                    ..FaultPolicy::default()
+                },
+                &topo,
+            )
+            .with_churn(churn.clone(), RegroupPolicy::default());
+        trainer
+            .run_semi_async_self_healing(
+                &algo,
+                &topo,
+                &FedAvg,
+                SamplingStrategy::ESRCov,
+                &AsyncConfig::default(),
+            )
+            .unwrap()
+    };
+    let (h_a, p_a, rep_a, m_a) = run();
+    let (h_b, p_b, rep_b, m_b) = run();
+    assert_eq!(h_a, h_b, "trajectories diverged");
+    assert_eq!(p_a, p_b, "models diverged");
+    assert_eq!(rep_a, rep_b, "async reports diverged");
+    assert_eq!(m_a, m_b, "membership diverged");
+    assert!(
+        !h_a.regroup_events().is_empty(),
+        "a 40%-departure plan over 4 rounds should move somebody"
+    );
+    let mut prev = 0.0f64;
+    for r in &rep_a.rounds {
+        assert!(r.clock_s >= prev, "emulated clock went backwards");
+        prev = r.clock_s;
+    }
+}

@@ -47,6 +47,12 @@ impl Dataset {
         self.labels.len()
     }
 
+    /// Consumes the dataset, returning its feature matrix and label vector
+    /// so their allocations can be recycled through buffer pools.
+    pub fn into_parts(self) -> (Matrix, Vec<usize>) {
+        (self.features, self.labels)
+    }
+
     pub fn is_empty(&self) -> bool {
         self.labels.is_empty()
     }

@@ -16,16 +16,20 @@
 
 pub mod csv;
 pub mod dataset;
+pub mod feddata;
 pub mod label_matrix;
 pub mod partition;
 pub mod poison;
 pub mod shards;
 pub mod synthetic;
+pub mod virtual_pop;
 
 pub use csv::{load_dataset, read_dataset, write_dataset};
 pub use dataset::{Batch, Dataset};
+pub use feddata::FedData;
 pub use label_matrix::LabelMatrix;
 pub use partition::{ClientPartition, PartitionSpec};
 pub use poison::Trigger;
 pub use shards::shard_partition;
 pub use synthetic::SyntheticSpec;
+pub use virtual_pop::{VirtualPopulation, VirtualSpec};

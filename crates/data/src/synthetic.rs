@@ -12,8 +12,15 @@ use rand::Rng;
 
 use crate::Dataset;
 
+/// Stream salts for the split-stream weighted generator. Labels and features
+/// are drawn from *independent* seeded streams so that a client's label
+/// histogram can be recovered in O(n) integer draws without touching the
+/// (much wider) feature stream — the property `VirtualPopulation` builds on.
+const LABEL_STREAM_SALT: u64 = 0x4C41_4245_4C53_3031; // "LABELS01"
+const FEATURE_STREAM_SALT: u64 = 0x4645_4154_5352_3031; // "FEATSR01"
+
 /// Specification of a synthetic class-conditional Gaussian dataset.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticSpec {
     /// Number of label categories (paper: 10 for CIFAR-10, 35 for SC).
     pub num_classes: usize,
@@ -70,27 +77,96 @@ impl SyntheticSpec {
     }
 
     /// Generates `n` samples whose labels follow `label_weights`.
+    ///
+    /// The uniform (`None`) path is the historical interleaved-stream
+    /// generator and stays byte-stable (golden datasets depend on it). The
+    /// weighted path is split-stream: means, labels, and features each come
+    /// from their own seeded stream, which makes label histograms and shard
+    /// contents independently derivable — see [`Self::weighted_labels_into`]
+    /// and [`Self::generate_weighted_with_means`].
     pub fn generate_weighted(&self, n: usize, label_weights: Option<&[f64]>, seed: u64) -> Dataset {
         assert!(self.num_classes > 0 && self.feature_dim > 0);
-        if let Some(w) = label_weights {
-            assert_eq!(w.len(), self.num_classes, "weight arity mismatch");
+        match label_weights {
+            None => {
+                let mut rng = init::rng(seed);
+                let means = self.class_means(&mut rng);
+                let mut features = Matrix::zeros(n, self.feature_dim);
+                let mut labels = Vec::with_capacity(n);
+                for i in 0..n {
+                    let label = rng.gen_range(0..self.num_classes);
+                    labels.push(label);
+                    let row = features.row_mut(i);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = means.get(label, j) + init::normal(&mut rng, 0.0, self.noise);
+                    }
+                }
+                Dataset::new(features, labels, self.num_classes)
+            }
+            Some(w) => {
+                let means = self.class_means_for(seed);
+                self.generate_weighted_with_means(n, w, &means, seed)
+            }
         }
-        let mut rng = init::rng(seed);
-        let means = self.class_means(&mut rng);
+    }
+
+    /// The class-mean constellation for `seed` — identical to the means the
+    /// uniform generator draws as its RNG-stream prefix.
+    pub fn class_means_for(&self, seed: u64) -> Matrix {
+        self.class_means(&mut init::rng(seed))
+    }
+
+    /// Appends `n` labels drawn from `weights` into `out` — exactly the
+    /// labels [`Self::generate_weighted_with_means`] would assign for the
+    /// same `(n, weights, seed)`. O(n) integer/f64 draws; never touches the
+    /// feature stream, so per-client label histograms cost no feature work.
+    pub fn weighted_labels_into(&self, n: usize, weights: &[f64], seed: u64, out: &mut Vec<usize>) {
+        assert_eq!(weights.len(), self.num_classes, "weight arity mismatch");
+        let mut rng = init::rng(seed ^ LABEL_STREAM_SALT);
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(sample_categorical(&mut rng, weights));
+        }
+    }
+
+    /// Split-stream weighted generation against a caller-supplied mean
+    /// constellation. Labels come from the salted label stream, features from
+    /// the salted feature stream; `means` is typically shared across a whole
+    /// virtual population so every client sees the same learnable task.
+    pub fn generate_weighted_with_means(
+        &self,
+        n: usize,
+        weights: &[f64],
+        means: &Matrix,
+        seed: u64,
+    ) -> Dataset {
+        assert!(self.num_classes > 0 && self.feature_dim > 0);
+        assert_eq!(means.rows(), self.num_classes, "mean arity mismatch");
+        assert_eq!(means.cols(), self.feature_dim, "mean width mismatch");
+        let mut labels = Vec::new();
+        self.weighted_labels_into(n, weights, seed, &mut labels);
         let mut features = Matrix::zeros(n, self.feature_dim);
-        let mut labels = Vec::with_capacity(n);
-        for i in 0..n {
-            let label = match label_weights {
-                None => rng.gen_range(0..self.num_classes),
-                Some(w) => sample_categorical(&mut rng, w),
-            };
-            labels.push(label);
+        self.fill_weighted_features(&labels, means, seed, &mut features);
+        Dataset::new(features, labels, self.num_classes)
+    }
+
+    /// Fills `features` (already sized `labels.len() × feature_dim`) from the
+    /// salted feature stream: row i is `means[label_i] + N(0, noise²)`.
+    pub(crate) fn fill_weighted_features(
+        &self,
+        labels: &[usize],
+        means: &Matrix,
+        seed: u64,
+        features: &mut Matrix,
+    ) {
+        debug_assert_eq!(features.rows(), labels.len());
+        debug_assert_eq!(features.cols(), self.feature_dim);
+        let mut rng = init::rng(seed ^ FEATURE_STREAM_SALT);
+        for (i, &label) in labels.iter().enumerate() {
             let row = features.row_mut(i);
             for (j, v) in row.iter_mut().enumerate() {
                 *v = means.get(label, j) + init::normal(&mut rng, 0.0, self.noise);
             }
         }
-        Dataset::new(features, labels, self.num_classes)
     }
 
     /// The class-mean constellation, deterministic in the RNG state.
@@ -204,6 +280,40 @@ mod tests {
         }
         let acc = correct as f32 / d.len() as f32;
         assert!(acc > 0.8, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn weighted_label_stream_matches_full_generation() {
+        let spec = SyntheticSpec::tiny();
+        let w = [0.2, 0.5, 0.3];
+        let d = spec.generate_weighted(200, Some(&w), 17);
+        let mut labels = Vec::new();
+        spec.weighted_labels_into(200, &w, 17, &mut labels);
+        assert_eq!(d.labels(), &labels[..]);
+    }
+
+    #[test]
+    fn weighted_generation_with_means_round_trips() {
+        let spec = SyntheticSpec::tiny();
+        let w = [0.1, 0.6, 0.3];
+        let means = spec.class_means_for(23);
+        let a = spec.generate_weighted(150, Some(&w), 23);
+        let b = spec.generate_weighted_with_means(150, &w, &means, 23);
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.features().as_slice(), b.features().as_slice());
+    }
+
+    #[test]
+    fn weighted_label_prefix_is_stable_in_n() {
+        // Shorter draws are a prefix of longer ones — lets summary stats be
+        // recovered incrementally without regenerating.
+        let spec = SyntheticSpec::tiny();
+        let w = [1.0, 2.0, 3.0];
+        let mut short = Vec::new();
+        let mut long = Vec::new();
+        spec.weighted_labels_into(40, &w, 31, &mut short);
+        spec.weighted_labels_into(90, &w, 31, &mut long);
+        assert_eq!(&long[..40], &short[..]);
     }
 
     #[test]

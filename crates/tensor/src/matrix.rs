@@ -238,6 +238,12 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// Consumes the matrix, returning its row-major backing buffer. Lets
+    /// callers recycle the allocation through a buffer pool.
+    pub fn into_vec(self) -> Vec<Scalar> {
+        self.data
+    }
+
     /// Borrowed view of the whole matrix.
     pub fn as_view(&self) -> MatrixRef<'_> {
         MatrixRef {
